@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark/experiment suite.
+
+Every bench reproduces one table or figure of the paper, prints the
+reproduction next to the paper's reference values, and saves the
+rendered text under ``benchmarks/results/`` (the source material for
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit():
+    """Print a rendered experiment block and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n=== {name} ===\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

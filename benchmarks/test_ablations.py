@@ -1,0 +1,181 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these probe the *why* behind its design
+decisions, using the same models:
+
+* work stealing vs data routing across per-tuple compute cost (§III,
+  Challenge 1: why stealing loses for data-intensive pipelines);
+* channel depth vs the Fig. 9 burst-absorption boundary;
+* profiling-window length vs plan quality;
+* the §V-D predictive online selector vs always-max-X (BRAM saved).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import render_series
+from repro.apps.histo import HistogramKernel
+from repro.baselines.work_stealing import WorkStealingModel
+from repro.core.config import ArchitectureConfig
+from repro.core.profiler import greedy_secpe_plan
+from repro.ditto.generator import SystemGenerator
+from repro.ditto.selection import PredictiveOnlineSelector, select_online
+from repro.ditto.spec import histogram_spec
+from repro.perf.evolving import EvolvingSkewModel
+from repro.perf.steady import steady_rate
+from repro.workloads.zipf import ZipfGenerator
+
+
+def test_ablation_work_stealing_crossover(benchmark, emit):
+    """Stealing only pays once per-item compute dwarfs the atomic cost —
+    data-intensive (1-cycle) updates sit far on the losing side."""
+    def sweep():
+        compute = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+        stealing, routing = [], []
+        for cycles in compute:
+            model = WorkStealingModel(compute_cycles=cycles, steal_batch=8)
+            stealing.append(model.rate())
+            routing.append(min(8.0, 16 / cycles))  # 16 PEs, II=compute
+        return compute, stealing, routing
+
+    compute, stealing, routing = benchmark.pedantic(sweep, rounds=1,
+                                                    iterations=1)
+    emit("ablation_work_stealing", render_series(
+        [str(c) for c in compute],
+        {"work stealing t/c": stealing, "data routing t/c": routing},
+        title="Ablation: work stealing vs routing across per-tuple "
+              "compute (cycles)",
+        value_format="{:.3f}",
+    ))
+    # Data routing dominates for lightweight compute...
+    assert routing[0] / stealing[0] > 10
+    # ...but the gap closes at K-means-like compute intensity.
+    assert stealing[-1] > 0.5 * routing[-1]
+
+
+def test_ablation_channel_depth_absorption(benchmark, emit):
+    """Deeper channels push the Fig. 9 burst-absorption boundary to
+    longer intervals (more BRAM buys more short-term skew tolerance)."""
+    def sweep():
+        depths = [64, 128, 256, 512, 1024, 2048]
+        boundaries = []
+        for depth in depths:
+            config = ArchitectureConfig(secpes=15, channel_depth=depth,
+                                        reenqueue_delay_cycles=94_000)
+            model = EvolvingSkewModel(config=config, frequency_mhz=188.0)
+            boundaries.append(model.absorption_interval_s() * 1e9)
+        return depths, boundaries
+
+    depths, boundaries = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_channel_depth", render_series(
+        [str(d) for d in depths],
+        {"absorption boundary (ns)": boundaries},
+        title="Ablation: channel depth vs burst-absorption boundary",
+    ))
+    assert boundaries == sorted(boundaries)
+    ratios = [b / a for a, b in zip(boundaries, boundaries[1:])]
+    assert all(r == pytest.approx(2.0) for r in ratios)   # linear in depth
+
+
+def test_ablation_profiling_window_length(benchmark, emit):
+    """Short profiling windows mis-estimate the distribution and produce
+    worse plans; beyond a few hundred samples the plan converges — why
+    the paper's 256-cycle window suffices."""
+    def sweep():
+        gen = ZipfGenerator(alpha=2.5, seed=8)
+        batch = gen.generate(200_000)
+        kernel = HistogramKernel(bins=512, pripes=16)
+        route = kernel.route_array(batch.keys)
+        true_shares = np.bincount(route, minlength=16) / route.size
+        window_sizes = [16, 64, 256, 1024, 4096]
+        rates = []
+        for window in window_sizes:
+            counts = np.bincount(route[:window], minlength=16)
+            plan = greedy_secpe_plan(counts, 15, 16)
+            rates.append(steady_rate(true_shares, plan=plan))
+        return window_sizes, rates
+
+    windows, rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_profiling_window", render_series(
+        [str(w) for w in windows],
+        {"post-plan rate t/c": rates},
+        title="Ablation: profiling sample size vs resulting plan quality",
+        value_format="{:.2f}",
+    ))
+    assert rates[-1] >= rates[0]          # more profiling never hurts
+    assert rates[2] > 0.8 * rates[-1]     # 256 samples ~ converged
+
+
+def test_ablation_bram_budget_tradeoff(benchmark, emit):
+    """§V-C: under a fixed BRAM budget C, X SecPEs leave only
+    M/(M+X) x C for *distinct* data.  For HLL that means fewer
+    registers -> worse estimates; the payoff is skew throughput.
+    This bench quantifies both sides of the paper's trade-off."""
+    def sweep():
+        import math
+        from repro.resources.estimator import ResourceEstimator
+        shares = ZipfGenerator(alpha=2.0, seed=44).expected_shares(
+            destinations=16)
+        est = ResourceEstimator()
+        budget_registers = 1 << 14            # total register budget
+        rows = []
+        for secpes in [0, 1, 3, 7, 15]:
+            capacity = est.distinct_capacity_fraction(16, secpes)
+            # Register file shrinks with the capacity fraction (rounded
+            # to the PE count; HLL works for any m).
+            m_regs = int(budget_registers * capacity) // 16 * 16
+            hll_error = 1.04 / math.sqrt(m_regs)
+            rate = steady_rate(shares, secpes=secpes)
+            rows.append((secpes, capacity, m_regs, hll_error, rate))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_bram_budget", render_series(
+        [f"X={r[0]}" for r in rows],
+        {
+            "distinct capacity %": [100 * r[1] for r in rows],
+            "registers (k)": [r[2] / 1024 for r in rows],
+            "HLL std err %": [100 * r[3] for r in rows],
+            "rate t/c (alpha=2)": [r[4] for r in rows],
+        },
+        title="Ablation (§V-C): fixed BRAM budget — distinct-data "
+              "capacity vs skew capacity",
+        value_format="{:.2f}",
+    ))
+    capacities = [r[1] for r in rows]
+    errors = [r[3] for r in rows]
+    rates = [r[4] for r in rows]
+    assert capacities == sorted(capacities, reverse=True)
+    assert errors == sorted(errors)               # accuracy degrades
+    assert rates == sorted(rates)                 # throughput improves
+    assert capacities[-1] > 0.5                   # §V-C: at least C/2
+
+
+def test_ablation_predictive_online_selector(benchmark, emit):
+    """§V-D extension: EWMA-predictive selection saves BRAM vs the
+    always-max-X online policy when traffic is mostly mild."""
+    def measure():
+        impls = SystemGenerator().generate(
+            histogram_spec(), secpe_counts=[0, 1, 2, 4, 8, 15])
+        kernel = HistogramKernel(bins=1024, pripes=16)
+        selector = PredictiveOnlineSelector(impls, alpha=0.4, margin=1)
+        always_max = select_online(impls)
+        ram_used = []
+        alphas = [0.5, 0.5, 0.5, 1.0, 0.5, 0.5, 2.5, 3.0, 0.5, 0.5]
+        for i, alpha in enumerate(alphas):
+            segment = ZipfGenerator(alpha=alpha, seed=200 + i).generate(
+                30_000)
+            chosen = selector.observe(segment, kernel)
+            ram_used.append(chosen.resources.ram_blocks)
+        return (np.mean(ram_used), always_max.resources.ram_blocks,
+                selector.switches)
+
+    mean_ram, max_ram, switches = benchmark.pedantic(measure, rounds=1,
+                                                     iterations=1)
+    emit("ablation_predictive_selector",
+         f"predictive online selector: mean RAM {mean_ram:.0f} M20K vs "
+         f"always-max {max_ram} M20K "
+         f"({1 - mean_ram / max_ram:.0%} saved), {switches} bitstream "
+         f"switches across 10 segments")
+    assert mean_ram < 0.8 * max_ram
+    assert switches <= 6                  # hysteresis limits thrash

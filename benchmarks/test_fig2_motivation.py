@@ -1,0 +1,41 @@
+"""Fig. 2 — the motivation experiment (§II-B).
+
+(a) Heatmap of per-PE workload for 16-PE HISTO over Zipf datasets with
+    alpha = 1 ... 3, normalised to the uniform dataset's per-PE load.
+(b) HISTO throughput versus Zipf factor without skew handling.
+
+The paper's headline observations reproduced and asserted here:
+* significant Zipf factors cause severe imbalance (hot cell magnitude
+  rises to ~13.3x at alpha = 3);
+* the overloaded PE *wanders* across datasets;
+* throughput collapses to ~1/16 of uniform at alpha = 3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import paper_data
+from repro.experiments.fig2 import run_fig2a, run_fig2b
+
+
+def test_fig2a_workload_heatmap(benchmark, emit):
+    result = benchmark.pedantic(run_fig2a, rounds=1, iterations=1)
+    emit("fig2a_heatmap", result.render())
+
+    hottest = result.hottest_per_row()
+    assert hottest[0] < 3.0                          # alpha=1: mild
+    assert hottest[-1] == pytest.approx(13.3, abs=1.5)   # alpha=3
+    assert all(np.diff(hottest) > -2.0)              # broadly increasing
+    hot_pes = result.heatmap[3:].argmax(axis=1)
+    assert len(set(hot_pes.tolist())) >= 3           # hot PE wanders
+
+
+def test_fig2b_throughput_vs_alpha(benchmark, emit):
+    result = benchmark.pedantic(run_fig2b, rounds=1, iterations=1)
+    emit("fig2b_throughput", result.render())
+
+    assert result.mtps[0] == pytest.approx(paper_data.FIG2B_UNIFORM_MTPS,
+                                           rel=0.05)
+    assert result.slowdown == pytest.approx(
+        paper_data.FIG2B_EXTREME_SLOWDOWN, abs=3.0)
+    assert result.mtps == sorted(result.mtps, reverse=True)

@@ -1,0 +1,66 @@
+"""Fig. 7 — HLL throughput across implementations and Zipf factors.
+
+Reproduces the full sweep (implementations 16P, 32P, 16P+{1,2,4,8,15}S
+over alpha = 0 ... 3, each at its measured Table III clock), the
+Ditto-selected implementation per alpha (T = 0.01), and the speedup of
+the selected implementation over the 16P baseline.
+
+Asserted headline results:
+* up to ~12x speedup at extreme skew (paper: 12x);
+* 16P+15S is oblivious to any skew (flat series);
+* 32P does not help (PE overloading is not solved);
+* more SecPEs -> more robustness, monotonically;
+* the selection ticks move from 16P at alpha=0 to 16P+15S at alpha=3.
+"""
+
+import pytest
+
+from repro.analysis import paper_data
+from repro.experiments.fig7 import IMPL_ORDER, run_fig7
+
+
+def test_fig7_hll_throughput_sweep(benchmark, emit):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    emit("fig7_hll_skew", result.render())
+
+    flat = result.series["16P+15S"]
+    base = result.series["16P"]
+
+    # 16P+15S is oblivious to skew: its throughput never drops much.
+    assert min(flat) > 0.8 * max(flat)
+    # Baseline collapses with skew.
+    assert base[-1] < base[0] / 10
+    # 32P does not solve overloading (collapses at alpha=3 too).
+    assert result.series["32P"][-1] < result.series["32P"][0] / 8
+    # Robustness is monotone in SecPE count at extreme skew.
+    at_a3 = [result.series[label][-1] for label in IMPL_ORDER]
+    assert at_a3 == sorted(at_a3)
+    # Headline: up to ~12x speedup (paper: 12x).
+    assert result.max_speedup == pytest.approx(
+        paper_data.FIG7_MAX_SPEEDUP, abs=2.5)
+    # Selection ticks step up with skew: 16P at alpha=0, 15S at alpha=3.
+    assert result.ticks[0] == "16P"
+    assert result.ticks[-1] == "16P+15S"
+    order = {label: i for i, label in enumerate(IMPL_ORDER)}
+    positions = [order[t] for t in result.ticks]
+    assert all(b >= a - 1 for a, b in zip(positions, positions[1:]))
+
+
+def test_fig7_selected_impl_never_compromises(benchmark, emit):
+    """'Ditto could select a suitable implementation that minimizes the
+    BRAM usage without compromising performance.'"""
+    def measure():
+        result = run_fig7()
+        losses = []
+        for i, tick in enumerate(result.ticks):
+            best = max(result.series[label][i] for label in result.series
+                       if label != "32P")
+            losses.append(1.0 - result.series[tick][i] / best)
+        return max(losses)
+
+    worst_loss = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("fig7_selection_loss",
+         f"worst-case throughput loss of the Ditto-selected "
+         f"implementation vs best available: {worst_loss:.1%} "
+         f"(clock spread between builds is ~25%)")
+    assert worst_loss < 0.30

@@ -1,0 +1,71 @@
+"""Fig. 9 — online HISTO under evolving data skew.
+
+HISTO with 16P+15S fed at 100 Gbps line rate, Zipf alpha = 3, with the
+hot-key distribution changing every interval (512 ms down to 16 ns),
+via the three-regime model plus a windowed-stream spot check.
+
+Asserted paper findings:
+* Ditto consistently beats the no-skew-handling baseline;
+* the network is satiated for intervals >= 16 ms;
+* throughput drops significantly in the middle regime;
+* throughput recovers for intervals <= 64 ns (burst absorption);
+* rescheduling counts rise as intervals shrink, then drop to zero.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import paper_data
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig9_evolving_skew_sweep(benchmark, emit):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    emit("fig9_evolving", result.render())
+
+    by_interval = dict(zip(result.intervals, result.points))
+    baseline = result.baseline_gbps
+
+    # Ditto consistently beats the baseline.
+    assert all(p.throughput_gbps > baseline for p in result.points)
+    # Satiated for >= 16 ms.
+    for interval in [512e-3, 64e-3, paper_data.FIG9_SATIATED_ABOVE_S]:
+        assert by_interval[interval].throughput_gbps > 85.0
+    # Deep trough in the middle.
+    assert min(p.throughput_gbps for p in result.points) < 40.0
+    # Recovery at <= 64 ns.
+    for interval in [paper_data.FIG9_RECOVERY_BELOW_S, 32e-9, 16e-9]:
+        assert by_interval[interval].throughput_gbps > 85.0
+    # Rescheduling counts: grow, then stop.
+    counts = [p.reschedules for p in result.points]
+    assert counts[0] < counts[5] < max(counts)
+    assert counts[-1] == 0 and counts[-6] == 0
+
+
+def test_fig9_epoch_model_spot_check(benchmark, emit):
+    """Drive the windowed epoch model with an actual evolving stream at
+    one mid-range interval: rescheduling happens and throughput lands
+    between the baseline and line rate."""
+    from repro.core.config import ArchitectureConfig
+    from repro.perf.epoch import EpochModel
+    from repro.workloads.evolving import EvolvingZipfStream
+
+    def measure():
+        stream = EvolvingZipfStream(alpha=3.0, interval_tuples=120_000,
+                                    total_tuples=600_000, base_seed=31)
+        route = (stream.materialize().keys % np.uint64(16)).astype(np.int64)
+        config = ArchitectureConfig(
+            secpes=15, reschedule_threshold=0.5,
+            reenqueue_delay_cycles=10_000, monitor_window=2048,
+        )
+        result = EpochModel(config, window_tuples=8_192).run(route)
+        return result.tuples_per_cycle, result.reschedules
+
+    rate, reschedules = benchmark.pedantic(measure, rounds=1, iterations=1)
+    gbps = rate * 188e6 * 64 / 1e9
+    emit("fig9_epoch_spot_check",
+         f"epoch-model evolving stream (5 distribution changes): "
+         f"{gbps:.1f} Gbps, {reschedules} reschedules "
+         f"(baseline w/o skew handling: ~7 Gbps, line rate: 96 Gbps)")
+    assert reschedules >= 2
+    assert 10.0 < gbps < 96.5

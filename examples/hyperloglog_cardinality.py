@@ -1,0 +1,51 @@
+"""HyperLogLog cardinality estimation — accuracy and skew robustness.
+
+Runs HLL through the routed pipeline on datasets with known distinct
+counts, both uniform and heavily skewed, and reports the estimation
+error.  Partitioned registers mean the same BRAM holds 16x more
+registers than a replicated design — the paper's "HLL obtains more
+accurate estimation" point, demonstrated by comparing precisions.
+
+Run:  python examples/hyperloglog_cardinality.py
+"""
+
+import numpy as np
+
+from repro.apps.hyperloglog import HyperLogLogKernel
+from repro.core import ArchitectureConfig, SkewObliviousArchitecture
+from repro.workloads import ZipfGenerator
+
+
+def run_hll(batch, precision, secpes):
+    kernel = HyperLogLogKernel(precision=precision, pripes=16)
+    config = ArchitectureConfig(secpes=secpes, reschedule_threshold=0.0)
+    arch = SkewObliviousArchitecture(config, kernel)
+    outcome = arch.run(batch, max_cycles=10_000_000)
+    return kernel.estimate(outcome.result), outcome.tuples_per_cycle
+
+
+def main() -> None:
+    for alpha, secpes in [(0.0, 0), (3.0, 0), (3.0, 15)]:
+        batch = ZipfGenerator(alpha=alpha, seed=31).generate(30_000)
+        true_count = len(np.unique(batch.keys))
+        estimate, rate = run_hll(batch, precision=12, secpes=secpes)
+        error = abs(estimate - true_count) / true_count
+        label = f"16P+{secpes}S" if secpes else "16P"
+        print(f"alpha={alpha} {label:<8}: true={true_count:>6,} "
+              f"estimate={estimate:>9,.0f} err={error:5.1%} "
+              f"rate={rate:4.1f} t/c")
+
+    # More registers in the same BRAM budget -> tighter estimates.
+    batch = ZipfGenerator(alpha=0.0, seed=32).generate(30_000)
+    true_count = len(np.unique(batch.keys))
+    print("\nprecision sweep (partitioning lets the same BRAM hold 16x "
+          "more registers than replication):")
+    for precision in [8, 10, 12]:
+        estimate, _ = run_hll(batch, precision=precision, secpes=0)
+        error = abs(estimate - true_count) / true_count
+        print(f"  2^{precision:>2} registers: err={error:5.1%} "
+              f"(theory ~{1.04 / np.sqrt(1 << precision):.1%})")
+
+
+if __name__ == "__main__":
+    main()

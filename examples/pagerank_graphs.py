@@ -1,0 +1,50 @@
+"""PageRank on skewed graphs (the Fig. 8 scenario).
+
+Runs fixed-point PR through the cycle-level architecture on a
+hub-dominated graph, comparing the plain data-routing design (Chen et
+al. [8] = 0 SecPEs) with the skew-oblivious one, and verifies the ranks
+are bit-identical.
+
+Run:  python examples/pagerank_graphs.py
+"""
+
+import numpy as np
+
+from repro.apps.pagerank import from_fixed, run_pagerank
+from repro.core import ArchitectureConfig
+from repro.workloads import hub_power_graph
+
+FREQ_BASE, FREQ_DITTO = 246.0, 188.0
+
+
+def main() -> None:
+    graph = hub_power_graph("web-core", num_vertices=2048,
+                            base_degree=4, extra_degree=12,
+                            locality=0.15, seed=5)
+    hot = graph.max_in_share(16)
+    print(f"graph: {graph.num_vertices:,} vertices, "
+          f"{graph.num_edges:,} directed edges, "
+          f"avg degree {graph.avg_degree:.1f}, "
+          f"hottest partition share {hot:.2f}")
+
+    base = run_pagerank(
+        graph, iterations=3,
+        config=ArchitectureConfig(secpes=0, reschedule_threshold=0.0))
+    ditto = run_pagerank(
+        graph, iterations=3,
+        config=ArchitectureConfig(secpes=15, reschedule_threshold=0.0))
+
+    assert np.array_equal(base.ranks, ditto.ranks)
+    print(f"Chen et al. [8]  : {base.mteps(FREQ_BASE):7.0f} MTEPS")
+    print(f"Ditto (16P+15S)  : {ditto.mteps(FREQ_DITTO):7.0f} MTEPS "
+          f"({ditto.mteps(FREQ_DITTO) / base.mteps(FREQ_BASE):.1f}x)")
+
+    ranks = from_fixed(ditto.ranks)
+    top = np.argsort(ranks)[-5:][::-1]
+    print("top-5 vertices by rank:",
+          ", ".join(f"v{v} ({ranks[v]:.4f})" for v in top))
+    print("(hub vertices are multiples of 16 — they should dominate)")
+
+
+if __name__ == "__main__":
+    main()

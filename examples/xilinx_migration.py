@@ -1,0 +1,46 @@
+"""The §V-A migration path: Ditto on a Xilinx platform as configuration.
+
+"The system is currently built with Intel's OpenCL tool-chain ... but it
+can be migrated to the Xilinx OpenCL tool-chain as well."  In this
+reproduction the platform is a dataclass, so migrating means passing a
+different one: Eq. 1 retunes the PE counts from the platform's memory
+interface, and the resource estimator charges the new shell.
+
+Run:  python examples/xilinx_migration.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis.tables import Table
+from repro.ditto import SystemGenerator, histogram_spec
+from repro.resources import PAC_PLATFORM, XILINX_U250_PLATFORM
+
+
+def describe(name, platform, secpe_counts=(0, 4, 15)):
+    gen = SystemGenerator(platform=platform, use_measured_builds=False)
+    impls = gen.generate(histogram_spec(), secpe_counts=list(secpe_counts))
+    base = impls[0].config
+    print(f"\n{name}: Eq.1 gives N={base.lanes} PrePEs, "
+          f"M={base.pripes} PriPEs "
+          f"({platform.memory_interface_bits}-bit interface)")
+    table = Table(["impl", "RAM", "RAM %", "fmax (MHz)"])
+    for impl in impls:
+        table.add_row([
+            impl.label,
+            impl.resources.ram_blocks,
+            f"{impl.resources.ram_fraction:.0%}",
+            f"{impl.frequency_mhz:.0f}",
+        ])
+    print(table.render())
+
+
+def main() -> None:
+    describe("Intel PAC (Arria 10)", PAC_PLATFORM)
+    describe("Xilinx Alveo U250", XILINX_U250_PLATFORM)
+    # A hypothetical HBM-class interface: Eq. 1 scales the whole design.
+    hbm = replace(XILINX_U250_PLATFORM, memory_interface_bits=1024)
+    describe("Alveo U250 @ 1024-bit interface", hbm)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Ditto reproduction: skew-oblivious data routing for data-intensive FPGA applications.
+
+This package is a cycle-level Python reproduction of the system described in
+
+    Chen, Tan, Chen, He, Wong, Chen.
+    "Skew-Oblivious Data Routing for Data Intensive Applications on FPGAs
+    with HLS", DAC 2021 (arXiv:2105.04151).
+
+Sub-packages
+------------
+``repro.sim``
+    Cycle-driven simulation engine: bounded channels, modules, memory engine.
+``repro.resources``
+    Arria 10 device description, BRAM/logic/DSP estimator, frequency model.
+``repro.hashing``
+    Hash functions used by the five applications (murmur3, radix, ...).
+``repro.workloads``
+    Zipf / uniform / evolving tuple generators and the synthetic graph suite.
+``repro.core``
+    The paper's contribution: the skew-oblivious data routing architecture
+    (PrePE, data routing, mapper, runtime profiler, PriPE/SecPE, merger).
+``repro.perf``
+    Steady-state and epoch-level performance models validated against the
+    cycle-level simulator.
+``repro.apps``
+    The five evaluated applications: HISTO, DP, PR, HLL, HHD.
+``repro.ditto``
+    The Ditto framework: high-level specs, system generation (Eq. 1),
+    skew analyzer (Eq. 2) and implementation selection.
+``repro.baselines``
+    Behavioural models of the state-of-the-art comparators from Table II.
+``repro.analysis``
+    Metrics, table/figure rendering, and the paper's reference numbers.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,29 @@
+"""Metrics, rendering and the paper's reference numbers.
+
+* :mod:`repro.analysis.metrics` — unit conversions (MT/s, MTEPS, Gbps)
+  and speedup helpers used across benches.
+* :mod:`repro.analysis.tables` / :mod:`repro.analysis.figures` — plain
+  ASCII renderers so every bench prints the table or series it
+  reproduces next to the paper's reference values.
+* :mod:`repro.analysis.paper_data` — the numbers the paper reports, one
+  constant per figure/table, used as the comparison column.
+"""
+
+from repro.analysis.figures import render_heatmap, render_series
+from repro.analysis.metrics import (
+    gbps,
+    mteps,
+    mtps,
+    speedup,
+)
+from repro.analysis.tables import Table
+
+__all__ = [
+    "Table",
+    "gbps",
+    "mteps",
+    "mtps",
+    "render_heatmap",
+    "render_series",
+    "speedup",
+]

@@ -1,0 +1,94 @@
+"""ASCII figure rendering (heatmaps and line series).
+
+The benches print these next to the paper's reference data; they are
+intentionally plain (no plotting dependencies in the offline
+environment).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_heatmap(
+    matrix: np.ndarray,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str = "",
+    value_format: str = "{:.1f}",
+) -> str:
+    """Render a matrix as an annotated ASCII heatmap.
+
+    Each cell prints its value; an intensity glyph column-codes the
+    magnitude (normalised over the whole matrix), which makes the
+    Fig. 2a hot-PE wandering visible in text output.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("heatmap expects a 2-D matrix")
+    if matrix.shape[0] != len(row_labels) or matrix.shape[1] != len(col_labels):
+        raise ValueError("label counts must match matrix shape")
+    peak = float(matrix.max()) or 1.0
+    label_width = max(len(str(r)) for r in row_labels)
+    cell_width = max(
+        max(len(value_format.format(v)) for v in matrix.flat) + 1,
+        max(len(str(c)) for c in col_labels) + 1,
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * (label_width + 1) + "".join(
+        str(c).rjust(cell_width) for c in col_labels
+    )
+    lines.append(header)
+    for label, row in zip(row_labels, matrix):
+        cells = []
+        for value in row:
+            shade = _SHADES[
+                min(len(_SHADES) - 1, int(value / peak * (len(_SHADES) - 1)))
+            ]
+            cells.append((value_format.format(value) + shade).rjust(cell_width))
+        lines.append(str(label).ljust(label_width + 1) + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_labels: Sequence[str],
+    series: dict,
+    title: str = "",
+    value_format: str = "{:.1f}",
+) -> str:
+    """Render named y-series against shared x labels as aligned columns."""
+    names = list(series)
+    if not names:
+        raise ValueError("need at least one series")
+    for name in names:
+        if len(series[name]) != len(x_labels):
+            raise ValueError(f"series {name!r} length mismatch")
+    name_width = max(len(str(n)) for n in names + ["x"])
+    col_width = max(
+        max(len(str(x)) for x in x_labels),
+        max(
+            len(value_format.format(v))
+            for name in names
+            for v in series[name]
+        ),
+    ) + 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "x".ljust(name_width) + "".join(str(x).rjust(col_width)
+                                        for x in x_labels)
+    )
+    for name in names:
+        lines.append(
+            str(name).ljust(name_width)
+            + "".join(value_format.format(v).rjust(col_width)
+                      for v in series[name])
+        )
+    return "\n".join(lines)

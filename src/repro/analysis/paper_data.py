@@ -1,0 +1,99 @@
+"""The paper's reported numbers, one constant per table/figure.
+
+Used as the reference column of every benchmark and by EXPERIMENTS.md.
+Values are transcribed from the DAC 2021 paper (arXiv:2105.04151);
+Table III lives in :mod:`repro.resources.calibration`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+# ---------------------------------------------------------------------
+# Fig. 2a — workload heatmap of 16-PE HISTO under Zipf (rows = alpha).
+# Transcribed verbatim; each row is normalised to the uniform dataset's
+# per-PE workload.  The diagnostic reproduced is *shape*: hottest-cell
+# magnitude per row and the fact that the hot PE wanders across rows.
+# ---------------------------------------------------------------------
+FIG2A_ALPHAS: List[float] = [1.0, 1.3, 1.5, 1.8, 2.0, 2.3, 2.5, 2.8, 3.0]
+
+FIG2A_HEATMAP: List[List[float]] = [
+    [0.7, 0.9, 0.8, 1.2, 1.0, 1.0, 0.9, 1.1, 1.4, 0.8, 0.9, 0.7, 1.8, 0.9, 0.8, 1.0],
+    [0.6, 0.4, 1.9, 0.8, 1.4, 0.5, 4.3, 1.0, 0.5, 0.7, 1.1, 0.5, 0.6, 0.4, 0.6, 0.6],
+    [1.9, 0.3, 0.3, 1.0, 0.2, 0.2, 0.3, 0.5, 9.1, 0.3, 0.4, 0.1, 0.2, 0.2, 0.2, 0.7],
+    [2.5, 1.3, 0.1, 0.4, 0.2, 0.1, 0.1, 1.0, 0.1, 0.1, 0.1, 0.0, 8.4, 0.5, 0.5, 0.6],
+    [0.0, 0.0, 0.1, 0.0, 0.0, 0.0, 0.1, 0.7, 0.6, 0.7, 12.2, 1.2, 0.0, 0.2, 0.0, 0.0],
+    [0.0, 2.3, 0.0, 0.3, 0.0, 11.0, 0.0, 0.2, 0.3, 0.6, 0.0, 0.1, 0.9, 0.1, 0.1, 0.0],
+    [0.0, 0.2, 2.1, 0.6, 0.0, 0.1, 0.1, 0.0, 0.8, 0.0, 0.0, 0.0, 11.9, 0.0, 0.0, 0.1],
+    [0.0, 0.1, 12.9, 0.0, 0.0, 0.1, 1.9, 0.0, 0.3, 0.6, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1],
+    [0.1, 0.0, 0.1, 0.2, 0.0, 0.0, 0.0, 0.5, 0.0, 0.0, 1.7, 0.0, 0.0, 13.3, 0.0, 0.0],
+]
+"""Rows follow :data:`FIG2A_ALPHAS`; 16 columns = PE IDs 1..16."""
+
+# ---------------------------------------------------------------------
+# Fig. 2b — HISTO (16 PEs, no skew handling) throughput vs alpha.
+# The paper plots ~2000 MT/s at alpha = 0 dropping to ~1/16 at alpha = 3;
+# only the endpoints are stated numerically in the text.
+# ---------------------------------------------------------------------
+FIG2B_UNIFORM_MTPS: float = 2000.0
+FIG2B_EXTREME_SLOWDOWN: float = 16.0   # "one-sixteenth"
+
+# ---------------------------------------------------------------------
+# Table II — comparison with state-of-the-art designs.
+# (throughput ratio Ditto/existing, BRAM saving per PE.)
+# ---------------------------------------------------------------------
+TABLE2_ROWS: Dict[str, Tuple[float, float]] = {
+    "jiang_histo": (1.2, 32.0),
+    "wang_dp": (2.4, 16.0),
+    "kara_dp": (1.2, 8.0),
+    "chen_pr": (1.0, 1.0),
+    "zhou_pr": (1.8, 1.0),
+    "kulkarni_hll": (0.9, 10.0),
+    "tong_hhd": (1.6, 1.0),
+}
+"""Keyed like :data:`repro.baselines.anchors.PUBLISHED_ANCHORS`."""
+
+# ---------------------------------------------------------------------
+# Fig. 7 — HLL throughput across implementations and Zipf factors.
+# Numerically stated: up to 12x speedup at extreme skew; 16P+15S is
+# "oblivious to any skew"; ticks select (T = 0.01) a growing SecPE count.
+# ---------------------------------------------------------------------
+FIG7_ALPHAS: List[float] = [
+    0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0
+]
+FIG7_IMPLEMENTATIONS: List[str] = [
+    "16P", "32P", "16P+1S", "16P+2S", "16P+4S", "16P+8S", "16P+15S"
+]
+FIG7_MAX_SPEEDUP: float = 12.0
+FIG7_SECPE_SWEEP: List[int] = [0, 1, 2, 4, 8, 15]
+
+# ---------------------------------------------------------------------
+# Fig. 8 — PR on undirected graphs: Ditto vs Chen et al. [8] speedups,
+# graphs in ascending average degree.
+# ---------------------------------------------------------------------
+FIG8_SPEEDUPS: List[float] = [4.0, 2.9, 5.7, 6.0, 5.0, 5.4, 6.5, 6.5, 7.1]
+FIG8_MAX_SPEEDUP: float = 7.1
+
+# ---------------------------------------------------------------------
+# Fig. 9 — evolving skew: regime boundaries stated in the text.
+# ---------------------------------------------------------------------
+FIG9_NETWORK_GBPS: float = 100.0
+FIG9_SATIATED_ABOVE_S: float = 16e-3    # ">= 16 ms satiates the network"
+FIG9_RECOVERY_BELOW_S: float = 64e-9    # "increases again ... 64 ns"
+FIG9_ZIPF_ALPHA: float = 3.0
+
+# ---------------------------------------------------------------------
+# Headline abstract numbers.
+# ---------------------------------------------------------------------
+HEADLINE_UNIFORM_SPEEDUP: float = 2.4
+HEADLINE_BRAM_REDUCTION: float = 32.0
+HEADLINE_SKEW_SPEEDUP: float = 12.0
+
+# ---------------------------------------------------------------------
+# Productivity (§VI-B): lines of kernel code.
+# ---------------------------------------------------------------------
+CODE_LINES: Dict[str, Tuple[int, int]] = {
+    "PR": (800, 22),     # Chen et al. [8] vs Ditto
+    "HISTO": (200, 6),   # Jiang et al. [12] vs Ditto
+}
+"""app -> (existing work's kernel lines, Ditto spec lines)."""

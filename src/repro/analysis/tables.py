@@ -1,0 +1,64 @@
+"""Minimal ASCII table renderer for benchmark output.
+
+Every bench prints the table or series it reproduces so the comparison
+with the paper is visible in the pytest log (and is captured into
+EXPERIMENTS.md).  No third-party table library is used — output must be
+stable across environments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+class Table:
+    """A fixed-column ASCII table.
+
+    >>> t = Table(["impl", "MT/s"])
+    >>> t.add_row(["16P", 1968.0])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    impl | MT/s...
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("need at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self._rows: List[List[str]] = []
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        """Append a row (values are str()-ed; floats get 4 significant
+        digits)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self._rows.append([self._fmt(v) for v in values])
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self) -> str:
+        """The table as a string (header, rule, rows)."""
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self._rows))
+            if self._rows else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        parts = []
+        if self.title:
+            parts.append(self.title)
+        parts.append(line(self.columns))
+        parts.append("-+-".join("-" * w for w in widths))
+        parts.extend(line(r) for r in self._rows)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,36 @@
+"""The five evaluated applications (paper Table I).
+
+==========  ==================================================  ==================================
+Short name  Description                                          Algorithm detail
+==========  ==================================================  ==================================
+HISTO       Distribution of numerical data                       equi-width histogram over a hash
+DP          Separates a big dataset into many chunks             radix hash function
+PR          Scores importance of websites by links               fixed-point data type
+HLL         Estimates the cardinality of big datasets            murmur3 hash function
+HHD         Detects heavy hitters in data streams                count-min sketch
+==========  ==================================================  ==================================
+
+Each application implements :class:`~repro.core.kernel.KernelSpec` (the
+Ditto high-level specification of Listing 2) plus an independent golden
+reference used by the correctness tests.
+"""
+
+from repro.apps.heavy_hitter import HeavyHitterKernel, golden_heavy_hitters
+from repro.apps.histo import HistogramKernel, golden_histogram
+from repro.apps.hyperloglog import HyperLogLogKernel, golden_hll_estimate
+from repro.apps.pagerank import PageRankKernel, golden_pagerank, run_pagerank
+from repro.apps.partition import PartitionKernel, golden_partition
+
+__all__ = [
+    "HeavyHitterKernel",
+    "HistogramKernel",
+    "HyperLogLogKernel",
+    "PageRankKernel",
+    "PartitionKernel",
+    "golden_heavy_hitters",
+    "golden_histogram",
+    "golden_hll_estimate",
+    "golden_pagerank",
+    "golden_partition",
+    "run_pagerank",
+]

@@ -1,0 +1,133 @@
+"""Data partitioning (DP) — paper Table I.
+
+"Separates a big dataset into many chunks with radix hash function."
+Radix partitioning sends every tuple to the output partition selected by
+a bit field of its key; with data routing, the PE owning partition range
+``p mod M`` buffers tuples in BRAM and flushes them to its own region of
+global memory in bursts (avoiding the fan-out-limited single-kernel
+design and the run-time data dependencies of Wang et al. [18]).
+
+DP is the paper's example of a **non-decomposable** application (§IV-B):
+a SecPE cannot have its output "added" into the PriPE's — instead "PrePEs
+and SecPEs output results to their own memory space of the global
+memory", and the consumer of a partition reads multiple chunks.  The
+kernel therefore sets ``decomposable = False`` and ``collect`` gathers
+chunk lists per partition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.kernel import KernelSpec
+from repro.hashing.radix import radix_bits, radix_bits_array
+from repro.resources.estimator import AppResourceProfile
+
+
+class PartitionKernel(KernelSpec):
+    """Radix partitioning with fan-out ``2**radix_bits_count``.
+
+    Parameters
+    ----------
+    radix_bits_count:
+        Number of key bits selecting the partition (fan-out exponent).
+    pripes:
+        M — PriPE count; partitions are distributed over PEs by their low
+        ``log2(M)`` bits.
+    """
+
+    decomposable = False
+
+    def __init__(self, radix_bits_count: int = 8, pripes: int = 16) -> None:
+        if radix_bits_count <= 0:
+            raise ValueError("radix_bits_count must be positive")
+        self.radix_bits_count = radix_bits_count
+        self.fanout = 1 << radix_bits_count
+        if self.fanout < pripes:
+            raise ValueError("fan-out must be at least the PE count")
+        self.pripes = pripes
+
+    def partition_of(self, key: int) -> int:
+        """Output partition of ``key``."""
+        return radix_bits(key, self.radix_bits_count)
+
+    def partition_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`partition_of`."""
+        return radix_bits_array(keys, self.radix_bits_count)
+
+    # -- KernelSpec ----------------------------------------------------
+    def route(self, key: int) -> int:
+        return self.partition_of(key) % self.pripes
+
+    def route_array(self, keys: np.ndarray) -> np.ndarray:
+        return self.partition_array(keys) % self.pripes
+
+    def make_buffer(self) -> Dict[int, List[int]]:
+        """Per-PE output space: partition id -> list of keys."""
+        return {}
+
+    def process(self, buffer: Dict[int, List[int]], key: int,
+                value: int) -> None:
+        buffer.setdefault(self.partition_of(key), []).append(key)
+
+    def collect(
+        self, buffers: List[Dict[int, List[int]]]
+    ) -> Dict[int, List[int]]:
+        """Union the chunk lists of all PEs (PriPEs and SecPEs).
+
+        Order within a partition is not semantically meaningful for radix
+        partitioning; the tests compare partitions as multisets.
+        """
+        partitions: Dict[int, List[int]] = {}
+        for buffer in buffers:
+            for part, chunk in buffer.items():
+                partitions.setdefault(part, []).extend(chunk)
+        return partitions
+
+    def combine_results(
+        self,
+        first: Dict[int, List[int]],
+        second: Dict[int, List[int]],
+    ) -> Dict[int, List[int]]:
+        """Partition chunks of consecutive segments concatenate."""
+        combined = {part: list(chunk) for part, chunk in first.items()}
+        for part, chunk in second.items():
+            combined.setdefault(part, []).extend(chunk)
+        return combined
+
+    def golden(self, keys: np.ndarray,
+               values: np.ndarray) -> Dict[int, List[int]]:
+        """Vectorised reference partitioning."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        parts = self.partition_array(keys)
+        result: Dict[int, List[int]] = {}
+        order = np.argsort(parts, kind="stable")
+        sorted_parts = parts[order]
+        sorted_keys = keys[order]
+        boundaries = np.flatnonzero(np.diff(sorted_parts)) + 1
+        for part_ids, chunk in zip(
+            np.split(sorted_parts, boundaries), np.split(sorted_keys, boundaries)
+        ):
+            if part_ids.size:
+                result[int(part_ids[0])] = [int(k) for k in chunk]
+        return result
+
+    def resource_profile(self) -> AppResourceProfile:
+        """Component costs for the resource estimator."""
+        return AppResourceProfile(
+            name="dp",
+            prepe_alms=600,
+            prepe_dsp=0,
+            pe_alms=900,
+            pe_dsp=0,
+            buffer_bits_per_pe=(self.fanout // self.pripes) * 512 * 8,
+        )
+
+
+def golden_partition(keys: np.ndarray, radix_bits_count: int = 8
+                     ) -> Dict[int, List[int]]:
+    """Standalone golden radix partitioning."""
+    kernel = PartitionKernel(radix_bits_count=radix_bits_count)
+    return kernel.golden(np.asarray(keys, dtype=np.uint64), np.zeros(0))

@@ -1,0 +1,34 @@
+"""Behavioural models of the paper's comparators (Table II).
+
+The paper compares Ditto against seven designs across the five
+applications.  Two were reproduced from open source by the authors
+(Jiang et al. [12] HISTO, Chen et al. [8] PR); the rest are taken from
+the original papers with bandwidth normalised.  This package mirrors
+that split:
+
+* **Architecture-class models** — designs whose performance difference
+  has a structural cause we can simulate: static dispatch with
+  replicated buffers + CPU aggregation (:mod:`static_dispatch`), the
+  conflict-stalling multikernel partitioner (:mod:`multikernel_dp`),
+  plain data routing without skew handling (Chen et al. = the X = 0
+  configuration of :mod:`repro.core`), and atomic work-stealing
+  (:mod:`work_stealing`, the related-work ablation).
+* **Published anchors** (:mod:`anchors`) — bandwidth-normalised
+  throughputs for the closed-source RTL designs, as collected by the
+  paper.
+"""
+
+from repro.baselines.anchors import PUBLISHED_ANCHORS, PublishedAnchor
+from repro.baselines.multikernel_dp import MultikernelPartitionModel
+from repro.baselines.single_pe import SinglePESketchModel
+from repro.baselines.static_dispatch import StaticDispatchModel
+from repro.baselines.work_stealing import WorkStealingModel
+
+__all__ = [
+    "MultikernelPartitionModel",
+    "PUBLISHED_ANCHORS",
+    "PublishedAnchor",
+    "SinglePESketchModel",
+    "StaticDispatchModel",
+    "WorkStealingModel",
+]

@@ -1,0 +1,37 @@
+"""Single-PE sketch pipeline (Tong et al. [19] class).
+
+Tong et al.'s RTL heavy hitter detector is a single deeply pipelined
+sketch-update engine: one tuple per cycle through d parallel hash/update
+lanes.  "Our HHD outperforms work [19] which only has one PE" (§VI-B) —
+the multi-PE routed design consumes the full memory interface width
+while one PE is bound to 1 tuple/cycle, and the bandwidth-normalised gap
+lands at the 1.6x Table II reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SinglePESketchModel:
+    """Throughput model of a single-PE streaming sketch design.
+
+    Parameters
+    ----------
+    frequency_mhz:
+        The design's clock after the paper's bandwidth normalisation
+        (RTL designs close timing much higher than HLS shells; the
+        normalisation folds the platform's memory-bandwidth difference
+        into an equivalent clock).
+    tuples_per_cycle:
+        Pipeline width (1 for [19]).
+    """
+
+    frequency_mhz: float = 1000.0
+    tuples_per_cycle: float = 1.0
+
+    def throughput_mtps(self) -> float:
+        """Million tuples per second — skew-independent (one PE owns
+        the whole sketch, so there is nothing to imbalance)."""
+        return self.tuples_per_cycle * self.frequency_mhz

@@ -1,0 +1,82 @@
+"""Static dispatch with replicated buffers (Jiang et al. [12] class).
+
+The existing HLS HISTO design of Fig. 1a: tuples are *statically*
+assigned to PEs (the i-th tuple to the i-th PE), so every PE must keep a
+full replica of the data structure, and the partial results must be
+aggregated by the CPU afterwards ("existing HISTO requires the
+intervention of CPU side to aggregate bins for final results").
+
+Performance consequences modelled here:
+
+* Static assignment is perfectly balanced **regardless of skew** — the
+  FPGA phase always runs at the bandwidth-bound rate.  (Skew robustness
+  is not why Ditto wins on this comparison; BRAM and the CPU merge are.)
+* The CPU aggregation adds ``replicas x bins`` additions at CPU merge
+  rate after every batch, which is what makes the end-to-end throughput
+  ~1.2x worse than Ditto's on the paper's dataset sizes.
+* BRAM per PE is a full replica (optionally double-buffered to overlap
+  the merge), vs. 1/M of the structure under data routing: the paper's
+  headline "32x BRAM usage saving per PE".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StaticDispatchModel:
+    """End-to-end throughput/BRAM model of the replicated-buffer design.
+
+    Parameters
+    ----------
+    pes:
+        PE count (16, as Eq. 1 would also give them).
+    lanes:
+        Memory-interface tuples per cycle.
+    frequency_mhz:
+        Kernel clock of the baseline build.
+    structure_entries:
+        Size of the replicated data structure (bins).
+    entry_bytes:
+        Bytes per entry.
+    double_buffered:
+        Whether replicas are double-buffered to overlap CPU merges.
+    cpu_merge_rate:
+        CPU aggregation speed in entries/second (a single Xeon core
+        summing 16 partial histograms).
+    """
+
+    pes: int = 16
+    lanes: int = 8
+    frequency_mhz: float = 240.0
+    structure_entries: int = 4096
+    entry_bytes: int = 4
+    double_buffered: bool = True
+    cpu_merge_rate: float = 2.0e9
+
+    def fpga_seconds(self, tuples: int) -> float:
+        """FPGA phase: bandwidth-bound regardless of skew."""
+        cycles = tuples / self.lanes
+        return cycles / (self.frequency_mhz * 1e6)
+
+    def cpu_merge_seconds(self) -> float:
+        """CPU phase: reduce ``pes`` partial replicas."""
+        return self.pes * self.structure_entries / self.cpu_merge_rate
+
+    def end_to_end_throughput_mtps(self, tuples: int) -> float:
+        """Throughput including the CPU aggregation."""
+        seconds = self.fpga_seconds(tuples) + self.cpu_merge_seconds()
+        return tuples / seconds / 1e6
+
+    def bram_per_pe_bits(self) -> int:
+        """Replica (x2 when double-buffered) held by every PE."""
+        bits = self.structure_entries * self.entry_bytes * 8
+        return bits * (2 if self.double_buffered else 1)
+
+    def bram_saving_vs_routing(self) -> float:
+        """Per-PE BRAM ratio vs a data-routing design partitioning the
+        same structure M ways: ``M x (2 if double buffered)`` — the
+        paper's 32x for M = 16."""
+        routed_bits = self.structure_entries * self.entry_bytes * 8 / self.pes
+        return self.bram_per_pe_bits() / routed_bits

@@ -1,0 +1,65 @@
+"""Atomic work-stealing (Ramanathan et al. [11]) — related-work ablation.
+
+The paper argues (§III, Challenge 1) that classic load balancing does not
+transfer to data-intensive pipelines: "underutilized PEs stealing the
+workload from the overloaded PEs and writing the results back to their
+buffers after the calculation will not payoff", and "heavy operations
+(e.g., atomic operation) will stall the processing pipeline".
+
+The model: every steal requires an atomic operation on a shared queue
+with latency ``atomic_latency`` cycles that serialises against other
+atomics.  For compute-heavy workloads (K-means in [11], many cycles per
+item) the atomic cost amortises; for one-cycle data-intensive updates it
+dominates, leaving throughput at ``stealers / atomic_latency`` tuples
+per cycle — far below the routed design's bandwidth bound.  The ablation
+bench sweeps the per-tuple compute to show the crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkStealingModel:
+    """Throughput of an atomics-based work-stealing PE pool.
+
+    Parameters
+    ----------
+    pes:
+        Worker count.
+    atomic_latency:
+        Cycles one atomic queue operation occupies the shared lock
+        (OpenCL atomics on Arria 10 global memory are tens of cycles).
+    steal_batch:
+        Work items claimed per atomic operation.
+    compute_cycles:
+        Per-item compute after claiming (1 for HISTO-class updates).
+    lanes:
+        Memory bandwidth bound, tuples per cycle.
+    """
+
+    pes: int = 16
+    atomic_latency: int = 24
+    steal_batch: int = 1
+    compute_cycles: int = 1
+    lanes: int = 8
+
+    def rate(self) -> float:
+        """Sustained tuples per cycle.
+
+        Three bounds: the serialised atomic queue admits one batch every
+        ``atomic_latency`` cycles; each PE alternates claiming (one
+        atomic) and computing its batch; and memory bandwidth caps
+        everything.
+        """
+        queue_bound = self.steal_batch / self.atomic_latency
+        per_pe = self.steal_batch / (
+            self.atomic_latency + self.steal_batch * self.compute_cycles
+        )
+        pe_bound = self.pes * per_pe
+        return min(float(self.lanes), queue_bound, pe_bound)
+
+    def throughput_mtps(self, frequency_mhz: float = 240.0) -> float:
+        """Million tuples per second at ``frequency_mhz``."""
+        return self.rate() * frequency_mhz

@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiment <name>``
+    Reproduce one of the paper's tables/figures (fig2a, fig2b, table2,
+    fig7, table3, fig8, fig9) and print it.
+``simulate``
+    Run one dataset through the cycle-level architecture and report
+    throughput, plans and correctness.
+``generate``
+    Print the Eq. 1-tuned implementation set for an application
+    (labels, resources, fmax, distinct-data capacity).
+``select``
+    Sample a dataset with the skew analyzer (Eq. 2) and show which
+    implementation Ditto would pick.
+``codegen``
+    Emit the OpenCL source set for one implementation to a directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+APP_SPECS = {
+    "histo": "histogram_spec",
+    "dp": "partition_spec",
+    "hll": "hyperloglog_spec",
+    "hhd": "heavy_hitter_spec",
+}
+
+
+def _spec_for(app: str):
+    from repro.ditto import spec as spec_module
+
+    if app not in APP_SPECS:
+        raise SystemExit(
+            f"unknown app {app!r}; choose from {sorted(APP_SPECS)} "
+            "(pagerank is driven via examples/pagerank_graphs.py)"
+        )
+    return getattr(spec_module, APP_SPECS[app])()
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one registered experiment and print its rendering."""
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    if args.name == "list":
+        print("\n".join(sorted(EXPERIMENTS)))
+        return 0
+    try:
+        print(run_experiment(args.name))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Cycle-level simulation of one Zipf dataset."""
+    from repro.core.architecture import SkewObliviousArchitecture
+    from repro.core.config import ArchitectureConfig
+    from repro.workloads.zipf import ZipfGenerator
+
+    spec = _spec_for(args.app)
+    kernel = spec.kernel_factory(args.pripes)
+    config = ArchitectureConfig(
+        pripes=args.pripes,
+        secpes=args.secpes,
+        reschedule_threshold=args.reschedule_threshold,
+    )
+    batch = ZipfGenerator(alpha=args.alpha, seed=args.seed).generate(
+        args.tuples)
+    architecture = SkewObliviousArchitecture(config, kernel)
+    outcome = architecture.run(batch, max_cycles=args.max_cycles)
+
+    print(f"app            : {spec.name}")
+    print(f"implementation : {config.label}")
+    print(f"dataset        : Zipf(alpha={args.alpha}), "
+          f"{args.tuples:,} tuples (seed {args.seed})")
+    print(f"cycles         : {outcome.cycles:,}")
+    print(f"tuples/cycle   : {outcome.tuples_per_cycle:.3f}")
+    print(f"MT/s @200MHz   : {outcome.throughput_mtps(200.0):.0f}")
+    print(f"plans          : {len(outcome.plans)}  "
+          f"reschedules: {outcome.reschedules}")
+    if args.verify:
+        golden = kernel.golden(batch.keys, batch.values)
+        matches = _results_match(outcome.result, golden)
+        print(f"verified       : {'OK' if matches else 'MISMATCH'}")
+        return 0 if matches else 1
+    return 0
+
+
+def _results_match(ours, golden) -> bool:
+    if isinstance(ours, np.ndarray):
+        return bool(np.array_equal(ours, golden))
+    if isinstance(ours, dict):
+        if set(ours) != set(golden):
+            return False
+        return all(sorted(ours[k]) == sorted(golden[k]) for k in golden)
+    return ours == golden
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Print the generated implementation set (Fig. 6, step 1)."""
+    from repro.analysis.tables import Table
+    from repro.ditto.generator import SystemGenerator
+
+    spec = _spec_for(args.app)
+    # Structural estimates throughout: mixing the paper's seven measured
+    # builds into a full 0..M-1 listing would look non-monotone.
+    implementations = SystemGenerator(use_measured_builds=False).generate(
+        spec)
+    table = Table(
+        ["impl", "RAM (M20K)", "logic (ALM)", "DSP", "fmax (MHz)",
+         "distinct capacity"],
+        title=f"Generated implementation set for {spec.name} "
+              f"(Eq. 1: N={implementations[0].config.lanes}, "
+              f"M={implementations[0].config.pripes}; "
+              "structural estimates)",
+    )
+    for impl in implementations:
+        table.add_row([
+            impl.label,
+            impl.resources.ram_blocks,
+            impl.resources.logic_alms,
+            impl.resources.dsp_blocks,
+            f"{impl.frequency_mhz:.0f}",
+            f"{impl.distinct_capacity_fraction:.0%}",
+        ])
+    print(table.render())
+    return 0
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    """Sample a dataset and show the Eq. 2 selection."""
+    from repro.ditto.framework import DittoFramework
+    from repro.workloads.zipf import ZipfGenerator
+
+    spec = _spec_for(args.app)
+    framework = DittoFramework(spec)
+    batch = ZipfGenerator(alpha=args.alpha, seed=args.seed).generate(
+        args.tuples)
+    run = framework.choose_offline(batch)
+    report = run.skew_report
+    print(f"sampled        : {report.sample_size:,} of "
+          f"{args.tuples:,} tuples")
+    print(f"max PE share   : {report.max_share:.3f}")
+    print(f"required SecPEs: {report.required_secpes} (Eq. 2)")
+    print(f"selected       : {run.implementation.label} "
+          f"({run.implementation.resources.ram_blocks} M20K, "
+          f"{run.implementation.frequency_mhz:.0f} MHz)")
+    return 0
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    """Write the OpenCL source set for one implementation."""
+    from repro.core.config import ArchitectureConfig
+    from repro.ditto.codegen import OpenCLGenerator
+
+    spec = _spec_for(args.app)
+    config = ArchitectureConfig(secpes=args.secpes)
+    source = OpenCLGenerator.from_spec(spec).generate(spec, config)
+    out_dir = pathlib.Path(args.output) / source.label
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name, text in source.files.items():
+        (out_dir / name).write_text(text)
+    print(f"wrote {len(source.files)} files "
+          f"({source.kernel_count} kernels) to {out_dir}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ditto (DAC 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiment",
+                       help="reproduce one paper table/figure")
+    p.add_argument("name", help="fig2a|fig2b|table2|fig7|table3|fig8|"
+                                "fig9|list")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("simulate", help="cycle-level simulation")
+    p.add_argument("--app", default="histo", choices=sorted(APP_SPECS))
+    p.add_argument("--alpha", type=float, default=1.5)
+    p.add_argument("--tuples", type=int, default=20_000)
+    p.add_argument("--pripes", type=int, default=16)
+    p.add_argument("--secpes", type=int, default=0)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--max-cycles", type=int, default=10_000_000)
+    p.add_argument("--reschedule-threshold", type=float, default=0.0)
+    p.add_argument("--verify", action="store_true",
+                   help="check against the golden reference")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("generate", help="print the implementation set")
+    p.add_argument("--app", default="histo", choices=sorted(APP_SPECS))
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("select", help="skew-analyze and select")
+    p.add_argument("--app", default="histo", choices=sorted(APP_SPECS))
+    p.add_argument("--alpha", type=float, default=1.5)
+    p.add_argument("--tuples", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_select)
+
+    p = sub.add_parser("codegen", help="emit OpenCL sources")
+    p.add_argument("--app", default="histo", choices=sorted(APP_SPECS))
+    p.add_argument("--secpes", type=int, default=4)
+    p.add_argument("--output", default="generated")
+    p.set_defaults(func=cmd_codegen)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

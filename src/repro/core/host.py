@@ -1,0 +1,95 @@
+"""Host-side controller — the CPU's role in rescheduling (§IV-B).
+
+"After that, the CPU side enqueues the runtime profiler and SecPEs
+again; therefore, the SecPEs will be scheduled again according to the
+changed workload distribution."
+
+The controller reacts to the profiler's reschedule request: it waits for
+the merger's completion signal, models the OpenCL dequeue + enqueue
+latency as a cycle delay, then restarts the profiler (fresh profiling
+window) and resets the SecPE buffers — the simulation equivalent of
+re-enqueueing those kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.merger import MERGED
+from repro.core.pe import ProcessingElement
+from repro.core.profiler import RESCHEDULE, RuntimeProfiler
+from repro.sim.channel import Channel
+from repro.sim.module import Module
+
+
+class HostController(Module):
+    """Models the CPU side of the rescheduling loop.
+
+    Parameters
+    ----------
+    name:
+        Module name.
+    profiler:
+        The runtime profiler kernel to re-enqueue.
+    secpes:
+        SecPE modules whose buffers are reset on re-enqueue.
+    profiler_in:
+        Control channel carrying the profiler's reschedule requests.
+    merger_in:
+        Control channel carrying the merger's completion signals.
+    reenqueue_delay_cycles:
+        Kernel-clock cycles one dequeue+enqueue round costs the host.
+    """
+
+    IDLE = "idle"
+    WAIT_MERGE = "wait-merge"
+    DELAY = "delay"
+
+    def __init__(
+        self,
+        name: str,
+        profiler: RuntimeProfiler,
+        secpes: Sequence[ProcessingElement],
+        profiler_in: Channel,
+        merger_in: Channel,
+        reenqueue_delay_cycles: int = 2048,
+    ) -> None:
+        super().__init__(name)
+        self._profiler = profiler
+        self._secpes = list(secpes)
+        self._profiler_in = profiler_in
+        self._merger_in = merger_in
+        self._delay = reenqueue_delay_cycles
+        self._state = self.IDLE
+        self._countdown = 0
+        self.reenqueues = 0
+
+    def tick(self, cycle: int) -> None:
+        if self._state == self.IDLE:
+            message = self._profiler_in.try_read()
+            if message == RESCHEDULE:
+                self._state = self.WAIT_MERGE
+                self.note_busy()
+            elif self._profiler.done and self._profiler_in.exhausted:
+                self.finish()
+            else:
+                self.note_idle()
+            return
+        if self._state == self.WAIT_MERGE:
+            message = self._merger_in.try_read()
+            if message == MERGED:
+                self._state = self.DELAY
+                self._countdown = self._delay
+            self.note_busy()
+            return
+        # DELAY state: the OpenCL runtime is dequeueing/enqueueing.
+        if self._countdown > 0:
+            self._countdown -= 1
+            self.note_busy()
+            return
+        for secpe in self._secpes:
+            secpe.reset_buffer()
+        self._profiler.restart()
+        self.reenqueues += 1
+        self._state = self.IDLE
+        self.note_busy()

@@ -1,0 +1,124 @@
+"""The kernel contract between applications and the architecture.
+
+Ditto's programming interface (paper §V-B, Listing 2) asks the developer
+for two pieces of logic: the PrePE body (key extraction + routing rule)
+and the PriPE/SecPE body (the buffer update).  :class:`KernelSpec` is the
+Python equivalent of that HLS template: the five applications implement
+it once and both the cycle-level simulator and the vectorised performance
+models consume it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List
+
+import numpy as np
+
+
+class KernelSpec(ABC):
+    """Application logic plugged into the skew-oblivious template.
+
+    The contract mirrors Listing 2:
+
+    * :meth:`route` is the PrePE body — it turns a key into the designated
+      PriPE ID (line 5 of Listing 2: ``dst = tuple.key & 0xf``).
+    * :meth:`process` is the PriPE/SecPE body — it applies one tuple to a
+      private buffer (lines 14-15: ``hist[HASH(tuple.key)]++``).
+    * :meth:`make_buffer` builds one PE's private buffer.
+    * :meth:`merge_into` folds a SecPE's partial buffer into a PriPE's
+      (the merger module), for *decomposable* applications.
+    * Non-decomposable applications (data partitioning) set
+      :attr:`decomposable` to False; their SecPEs "output results to
+      their own memory space" and :meth:`collect` receives all buffers.
+    """
+
+    #: Number of PriPEs this spec routes across (set by the architecture
+    #: before use; route() must return IDs in [0, pripes)).
+    pripes: int = 16
+
+    #: Whether SecPE partials can be folded into PriPE buffers.
+    decomposable: bool = True
+
+    # ------------------------------------------------------------------
+    # Routing (PrePE logic)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def route(self, key: int) -> int:
+        """Destination PriPE ID of ``key`` (scalar form)."""
+
+    def route_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`route`; default falls back to the scalar."""
+        return np.fromiter(
+            (self.route(int(k)) for k in np.asarray(keys, dtype=np.uint64)),
+            dtype=np.int64,
+            count=len(keys),
+        )
+
+    def prepare_value(self, key: int, value: int) -> int:
+        """PrePE value transformation (identity by default).
+
+        PageRank uses this hook: the PrePE turns an edge into the
+        fixed-point contribution ``rank[src] / degree[src]``.
+        """
+        return value
+
+    # ------------------------------------------------------------------
+    # Processing (PriPE / SecPE logic)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def make_buffer(self) -> Any:
+        """A fresh private buffer for one PE (zero-initialised)."""
+
+    @abstractmethod
+    def process(self, buffer: Any, key: int, value: int) -> None:
+        """Apply one routed tuple to ``buffer`` (takes II cycles on-chip)."""
+
+    # ------------------------------------------------------------------
+    # Merging (merger logic)
+    # ------------------------------------------------------------------
+    def merge_into(self, primary: Any, secondary: Any) -> None:
+        """Fold a SecPE partial buffer into the owning PriPE's buffer.
+
+        Decomposable applications must override (histogram: elementwise
+        add; HLL: elementwise max; ...).  The default raises so forgetting
+        to override is loud.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is marked decomposable but does not "
+            "implement merge_into"
+        )
+
+    def collect(self, pripe_buffers: List[Any]) -> Any:
+        """Combine the merged PriPE buffers into the application result."""
+        return pripe_buffers
+
+    def combine_results(self, first: Any, second: Any) -> Any:
+        """Fold two *collected* results (streaming sessions).
+
+        Used by :class:`repro.runtime.session.StreamingSession` to keep
+        a running result across stream segments.  Applications override
+        with their reduction (histograms add, HLL registers max-fold).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a streaming "
+            "result combiner"
+        )
+
+    # ------------------------------------------------------------------
+    # Golden reference
+    # ------------------------------------------------------------------
+    def golden(self, keys: np.ndarray, values: np.ndarray) -> Any:
+        """Pure-software reference result for correctness checks.
+
+        Default: run the same route/process/merge pipeline sequentially.
+        Applications may override with an independent implementation
+        (preferred — it makes the equivalence test meaningful).
+        """
+        buffers: Dict[int, Any] = {
+            pe: self.make_buffer() for pe in range(self.pripes)
+        }
+        for key, value in zip(keys.tolist(), values.tolist()):
+            pe = self.route(int(key))
+            self.process(buffers[pe], int(key), int(value))
+        return self.collect([buffers[pe] for pe in range(self.pripes)])

@@ -1,0 +1,125 @@
+"""The merger — folding SecPE partials into PriPE results (§IV-B).
+
+"By the end of the processing, the results of PriPEs and SecPEs are
+merged by the merger module according to the SecPE scheduling plan."
+During rescheduling, the merger also performs the mid-run merge: "the
+merger merges the intermediate results in the global memory with the
+results of SecPEs according to the SecPE scheduling plan", after the
+SecPEs have drained their channels.
+
+For non-decomposable applications (data partitioning) no arithmetic merge
+exists; PEs keep their own output spaces and the merger only records
+which SecPE served which PriPE in each epoch (the consumer reads multiple
+chunks per partition).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.kernel import KernelSpec
+from repro.core.mapper import DETACH
+from repro.core.pe import ProcessingElement
+from repro.core.profiler import SchedulingPlan
+from repro.sim.channel import Channel
+from repro.sim.module import Module
+
+MERGED = ("merged",)
+"""Control message to the host: mid-run merge finished."""
+
+
+class Merger(Module):
+    """Merges SecPE buffers into PriPE buffers per the scheduling plan.
+
+    Parameters
+    ----------
+    name:
+        Module name.
+    kernel:
+        Application logic providing ``merge_into`` (decomposable apps).
+    pripes / secpes:
+        The PE modules (the merger reaches into their buffers, like the
+        hardware merger reads the PEs' memory spaces).
+    plan_in:
+        Plan / control channel from the runtime profiler.
+    host_out:
+        Control channel to the host controller.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kernel: KernelSpec,
+        pripes: Sequence[ProcessingElement],
+        secpes: Sequence[ProcessingElement],
+        plan_in: Channel,
+        host_out: Optional[Channel] = None,
+    ) -> None:
+        super().__init__(name)
+        self._kernel = kernel
+        self._pripes = list(pripes)
+        self._secpes = list(secpes)
+        self._plan_in = plan_in
+        self._host_out = host_out
+        self._current_plan: Optional[SchedulingPlan] = None
+        self._draining = False
+        self.merge_log: List[SchedulingPlan] = []
+        self.merges_performed = 0
+        self.final_merge_done = False
+
+    # ------------------------------------------------------------------
+    # Merge mechanics
+    # ------------------------------------------------------------------
+    def _secpes_drained(self) -> bool:
+        """True when every SecPE consumed its in-flight tuples."""
+        return all(
+            pe.input_channel.occupancy == 0
+            and pe.input_channel.staged_count == 0
+            for pe in self._secpes
+        )
+
+    def _perform_merge(self) -> None:
+        """Fold each SecPE's partial into its assigned PriPE's buffer."""
+        plan = self._current_plan
+        if plan is None:
+            return
+        if self._kernel.decomposable:
+            for secpe in self._secpes:
+                pripe_id = plan.pripe_of(secpe.pe_id)
+                if pripe_id is None:
+                    continue
+                self._kernel.merge_into(
+                    self._pripes[pripe_id].buffer, secpe.buffer
+                )
+                secpe.reset_buffer()
+        self.merge_log.append(plan)
+        self.merges_performed += 1
+        self._current_plan = None
+
+    # ------------------------------------------------------------------
+    # Per-cycle behaviour
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        message = self._plan_in.try_read()
+        if message is not None:
+            if message == DETACH:
+                self._draining = True
+            else:
+                self._current_plan = message
+
+        if self._draining:
+            if self._secpes_drained():
+                self._perform_merge()
+                self._draining = False
+                if self._host_out is not None:
+                    self._host_out.write(MERGED)
+            self.note_busy()
+            return
+
+        all_pes = self._pripes + self._secpes
+        if all(pe.done for pe in all_pes):
+            self._perform_merge()  # final merge per the last plan
+            self.final_merge_done = True
+            self.finish()
+            return
+        self.note_idle()

@@ -1,0 +1,75 @@
+"""Preprocessing PEs (PrePE).
+
+"The N PrePEs prepare the tuples with the format of <dst, value>, where
+the dst is the index of the buffered data and the value is to calculate
+with the buffered data" (§IV-A).  In Listing 2 the PrePE body reads a
+tuple from the memory channel, computes the destination PriPE ID from the
+key, and forwards the routed tuple downstream.
+"""
+
+from __future__ import annotations
+
+from repro.core.kernel import KernelSpec
+from repro.sim.channel import Channel
+from repro.sim.module import Module
+
+
+class PrePE(Module):
+    """One preprocessing PE lane.
+
+    Parameters
+    ----------
+    name:
+        Module name.
+    kernel:
+        Application logic providing :meth:`KernelSpec.route` and
+        :meth:`KernelSpec.prepare_value`.
+    lane_in:
+        Channel of raw ``(key, value)`` tuples from the memory engine.
+    routed_out:
+        Channel of ``(dst_pripe, key, value)`` triples to the mapper (or
+        directly to the combiner when no skew handling is configured).
+    ii:
+        Initiation interval (cycles per tuple); 1 for all five apps.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kernel: KernelSpec,
+        lane_in: Channel,
+        routed_out: Channel,
+        ii: int = 1,
+    ) -> None:
+        super().__init__(name)
+        if ii <= 0:
+            raise ValueError("initiation interval must be positive")
+        self._kernel = kernel
+        self._in = lane_in
+        self._out = routed_out
+        self._ii = ii
+        self._cooldown = 0
+        self.tuples_processed = 0
+
+    def tick(self, cycle: int) -> None:
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            self.note_busy()
+            return
+        if not self._in.can_read():
+            if self._in.exhausted:
+                self._out.close()
+                self.finish()
+            else:
+                self.note_idle()
+            return
+        if not self._out.can_write():
+            self.note_stall()
+            return
+        key, value = self._in.read()
+        dst = self._kernel.route(key)
+        prepared = self._kernel.prepare_value(key, value)
+        self._out.write((dst, key, prepared))
+        self.tuples_processed += 1
+        self._cooldown = self._ii - 1
+        self.note_busy()

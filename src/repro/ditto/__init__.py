@@ -1,0 +1,51 @@
+"""The Ditto framework (paper §V, Fig. 6).
+
+Workflow:
+
+1. **Implementation generation** — from a high-level application
+   specification (:class:`~repro.ditto.spec.AppSpec`, the Python stand-in
+   for Listing 2) the :class:`~repro.ditto.generator.SystemGenerator`
+   tunes PrePE/PriPE counts via Eq. 1 and emits one implementation per
+   SecPE count (0 ... M-1), each with resource and frequency estimates
+   standing in for the bitstream set.
+2. **Implementation selection** — the
+   :class:`~repro.ditto.analyzer.SkewAnalyzer` samples 0.1 % of the
+   dataset, evaluates Eq. 2 and picks the implementation with the fewest
+   SecPEs that still absorbs the measured skew (minimal BRAM without
+   compromising throughput).  Online processing defaults to the maximal
+   X = M - 1 implementation; the EWMA-predictive selector implements the
+   paper's §V-D future-work suggestion.
+"""
+
+from repro.ditto.analyzer import SkewAnalyzer
+from repro.ditto.framework import DittoFramework
+from repro.ditto.generator import Implementation, SystemGenerator
+from repro.ditto.selection import (
+    PredictiveOnlineSelector,
+    select_offline,
+    select_online,
+)
+from repro.ditto.spec import (
+    AppSpec,
+    heavy_hitter_spec,
+    histogram_spec,
+    hyperloglog_spec,
+    pagerank_spec,
+    partition_spec,
+)
+
+__all__ = [
+    "AppSpec",
+    "DittoFramework",
+    "Implementation",
+    "PredictiveOnlineSelector",
+    "SkewAnalyzer",
+    "SystemGenerator",
+    "heavy_hitter_spec",
+    "histogram_spec",
+    "hyperloglog_spec",
+    "pagerank_spec",
+    "partition_spec",
+    "select_offline",
+    "select_online",
+]

@@ -1,0 +1,125 @@
+"""The end-to-end Ditto framework (paper Fig. 6).
+
+Ties the pieces together the way the paper's toolflow does::
+
+    spec  --[SystemGenerator / Eq.1]-->  implementations (bitstream set)
+    data  --[SkewAnalyzer   / Eq.2]-->  required SecPE count
+          --[select_offline       ]-->  the suitable implementation
+          --[cycle sim or model   ]-->  result + throughput
+
+``DittoFramework.run_offline`` is what the quickstart example calls; the
+benchmarks use the finer-grained pieces directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.architecture import ArchitectureResult, SkewObliviousArchitecture
+from repro.ditto.analyzer import SkewAnalyzer, SkewReport
+from repro.ditto.generator import Implementation, SystemGenerator
+from repro.ditto.selection import select_offline, select_online
+from repro.ditto.spec import AppSpec
+from repro.perf.epoch import EpochModel, EpochResult
+from repro.workloads.tuples import TupleBatch
+
+
+@dataclass
+class DittoRun:
+    """Everything the framework produced for one dataset.
+
+    Attributes
+    ----------
+    implementation:
+        The selected implementation.
+    skew_report:
+        The analyzer's sampling report (None for online selection).
+    outcome:
+        Cycle-level result (when executed) or None.
+    modelled:
+        Epoch-model result (when modelled) or None.
+    """
+
+    implementation: Implementation
+    skew_report: Optional[SkewReport] = None
+    outcome: Optional[ArchitectureResult] = None
+    modelled: Optional[EpochResult] = None
+
+    def throughput_mtps(self) -> float:
+        """Throughput in million tuples/s at the selected clock."""
+        f = self.implementation.frequency_mhz
+        if self.outcome is not None:
+            return self.outcome.throughput_mtps(f)
+        if self.modelled is not None:
+            return self.modelled.throughput_mtps(f)
+        raise ValueError("run was neither executed nor modelled")
+
+
+class DittoFramework:
+    """Implementation generation + selection + execution in one object.
+
+    Parameters
+    ----------
+    spec:
+        The application specification.
+    generator:
+        System generator (platform + estimator + frequency model).
+    analyzer:
+        Skew analyzer for offline selection.
+    secpe_counts:
+        Implementation set to generate (defaults to all of 0 ... M-1).
+    """
+
+    def __init__(
+        self,
+        spec: AppSpec,
+        generator: Optional[SystemGenerator] = None,
+        analyzer: Optional[SkewAnalyzer] = None,
+        secpe_counts: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.spec = spec
+        self.generator = generator or SystemGenerator()
+        self.analyzer = analyzer or SkewAnalyzer()
+        self.implementations: List[Implementation] = self.generator.generate(
+            spec, secpe_counts
+        )
+        self.kernel = self.generator.build_kernel(spec)
+
+    # ------------------------------------------------------------------
+    def choose_offline(self, batch: TupleBatch) -> DittoRun:
+        """Sample the dataset and pick the minimal-BRAM implementation."""
+        report = self.analyzer.analyze(batch, self.kernel)
+        implementation = select_offline(
+            self.implementations, report.required_secpes
+        )
+        return DittoRun(implementation=implementation, skew_report=report)
+
+    def choose_online(self) -> DittoRun:
+        """Maximal-X implementation (no prior dataset knowledge)."""
+        return DittoRun(implementation=select_online(self.implementations))
+
+    # ------------------------------------------------------------------
+    def run_offline(
+        self,
+        batch: TupleBatch,
+        execute: bool = True,
+        max_cycles: int = 20_000_000,
+    ) -> DittoRun:
+        """Select and process ``batch``.
+
+        ``execute=True`` runs the cycle-level simulator (small datasets);
+        ``execute=False`` uses the epoch model (paper-scale datasets).
+        """
+        run = self.choose_offline(batch)
+        config = run.implementation.config
+        if execute:
+            architecture = SkewObliviousArchitecture(config, self.kernel)
+            run.outcome = architecture.run(batch, max_cycles=max_cycles)
+        else:
+            model = EpochModel(config)
+            route_ids = np.asarray(self.kernel.route_array(batch.keys))
+            run.modelled = model.run(route_ids)
+        return run

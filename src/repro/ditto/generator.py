@@ -1,0 +1,159 @@
+"""System generation (paper §V-C).
+
+From the application specification the generator:
+
+1. tunes the PrePE and PriPE counts to balance the pipeline against the
+   platform's memory bandwidth — Eq. 1:
+
+   .. math::
+
+      \\frac{N_{PrePE}}{II_{PrePE}} = \\frac{N_{PriPE}}{II_{PriPE}}
+      = \\frac{W_{mem}}{W_{tuple}}
+
+2. generates ``M`` implementations with the SecPE count ranging from 0 to
+   ``M - 1``, trading skew-handling capacity against BRAM ("the upper
+   bound of X is M - 1 since the implementation with M - 1 SecPEs could
+   handle the worst case where all data go to the same PriPE");
+
+3. attaches resource and frequency estimates to each implementation —
+   the stand-ins for the bitstreams an FPGA flow would produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import ArchitectureConfig
+from repro.core.kernel import KernelSpec
+from repro.ditto.spec import AppSpec
+from repro.resources.device import PAC_PLATFORM, Platform
+from repro.resources.estimator import (
+    AppResourceProfile,
+    HLL_PROFILE,
+    ResourceEstimate,
+    ResourceEstimator,
+)
+from repro.resources.frequency import FrequencyModel
+
+
+@dataclass(frozen=True)
+class Implementation:
+    """One generated implementation (one would-be bitstream).
+
+    Attributes
+    ----------
+    config:
+        Architecture shape and control parameters.
+    resources:
+        Estimated (or measured, for Table III configs) resource usage.
+    frequency_mhz:
+        Predicted (or measured) kernel clock.
+    distinct_capacity_fraction:
+        Fraction of the buffering budget available for distinct data —
+        ``M / (M + X)`` (§V-C).
+    """
+
+    config: ArchitectureConfig
+    resources: ResourceEstimate
+    frequency_mhz: float
+    distinct_capacity_fraction: float
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``16P+4S``."""
+        return self.config.label
+
+
+def tune_pe_counts(
+    spec: AppSpec, platform: Platform = PAC_PLATFORM
+) -> ArchitectureConfig:
+    """Apply Eq. 1: balance PrePE/PriPE counts to the memory interface.
+
+    ``N_PrePE = lanes * II_PrePE`` and ``N_PriPE = lanes * II_PriPE``
+    where ``lanes = W_mem / W_tuple`` — with the paper's parameters
+    (512-bit interface, 8-byte tuples, II = 1/2) this yields N = 8,
+    M = 16, exactly §VI-C1's "the system sets the number of PriPEs to 16".
+    """
+    lanes = platform.lanes_for_tuple_bytes(spec.tuple_bytes)
+    pripes = lanes * spec.ii_pe // spec.ii_prepe
+    if pripes <= 0:
+        raise ValueError("degenerate pipeline: check II estimates")
+    return ArchitectureConfig(
+        lanes=lanes,
+        pripes=pripes,
+        secpes=0,
+        ii_prepe=spec.ii_prepe,
+        ii_pe=spec.ii_pe,
+    )
+
+
+class SystemGenerator:
+    """Generates the implementation set for an application spec."""
+
+    def __init__(
+        self,
+        platform: Platform = PAC_PLATFORM,
+        estimator: Optional[ResourceEstimator] = None,
+        frequency_model: Optional[FrequencyModel] = None,
+        use_measured_builds: bool = True,
+    ) -> None:
+        self.platform = platform
+        self.estimator = estimator or ResourceEstimator(platform=platform)
+        self.frequency_model = frequency_model or FrequencyModel(
+            platform=platform
+        )
+        self.use_measured_builds = use_measured_builds
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        spec: AppSpec,
+        secpe_counts: Optional[Sequence[int]] = None,
+    ) -> List[Implementation]:
+        """Generate implementations for ``spec``.
+
+        ``secpe_counts`` defaults to the full range 0 ... M-1; the paper's
+        Fig. 7 sweep uses the subset {0, 1, 2, 4, 8, 15}.
+        """
+        base = tune_pe_counts(spec, self.platform)
+        m = base.pripes
+        counts = list(range(m)) if secpe_counts is None else list(secpe_counts)
+        profile = self._profile_for(spec)
+        implementations = []
+        for x in counts:
+            config = base.with_secpes(x)
+            if self.use_measured_builds:
+                resources = self.estimator.estimate_calibrated(
+                    config.pripes, config.secpes, config.lanes, profile
+                )
+            else:
+                resources = self.estimator.estimate(
+                    config.pripes, config.secpes, config.lanes, profile
+                )
+            frequency = self.frequency_model.predict(resources)
+            implementations.append(
+                Implementation(
+                    config=config,
+                    resources=resources,
+                    frequency_mhz=frequency,
+                    distinct_capacity_fraction=(
+                        self.estimator.distinct_capacity_fraction(
+                            config.pripes, config.secpes
+                        )
+                    ),
+                )
+            )
+        return implementations
+
+    def build_kernel(self, spec: AppSpec) -> KernelSpec:
+        """Instantiate the application kernel for the tuned PriPE count."""
+        base = tune_pe_counts(spec, self.platform)
+        return spec.kernel_factory(base.pripes)
+
+    def _profile_for(self, spec: AppSpec) -> AppResourceProfile:
+        kernel = self.build_kernel(spec)
+        profile_fn = getattr(kernel, "resource_profile", None)
+        if profile_fn is None:
+            return HLL_PROFILE
+        return profile_fn()

@@ -1,0 +1,124 @@
+"""Implementation selection (paper §V-D).
+
+Offline: pick the generated implementation with the *fewest* SecPEs that
+still covers the analyzer's requirement — "the implementation with a
+suitable number of SecPEs ... that could save the BRAM usage without
+significantly compromising the performance".
+
+Online: "as the dataset is a prior[i unknown] information, the skew
+analyzer currently chooses the implementation with the maximal number of
+SecPEs, M - 1, to accommodate any level of data skew".
+
+The paper closes §V-D by noting that stream-input prediction [16] "can be
+explored for choosing an implementation that saves more BRAM usage for
+online processing" — :class:`PredictiveOnlineSelector` implements that
+extension with an exponentially weighted moving average of the measured
+skew requirement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.kernel import KernelSpec
+from repro.ditto.analyzer import SkewAnalyzer
+from repro.ditto.generator import Implementation
+from repro.workloads.tuples import TupleBatch
+
+
+def select_offline(
+    implementations: Sequence[Implementation], required_secpes: int
+) -> Implementation:
+    """Smallest-X implementation with ``secpes >= required_secpes``.
+
+    Falls back to the maximal-X implementation when none covers the
+    requirement (cannot happen when the full 0..M-1 set was generated,
+    since Eq. 2 clamps to M-1).
+    """
+    if not implementations:
+        raise ValueError("no implementations to select from")
+    ordered = sorted(implementations, key=lambda im: im.config.secpes)
+    for implementation in ordered:
+        if implementation.config.secpes >= required_secpes:
+            return implementation
+    return ordered[-1]
+
+
+def select_online(
+    implementations: Sequence[Implementation],
+) -> Implementation:
+    """Maximal-X implementation — any skew level is covered."""
+    if not implementations:
+        raise ValueError("no implementations to select from")
+    return max(implementations, key=lambda im: im.config.secpes)
+
+
+class PredictiveOnlineSelector:
+    """EWMA-predictive selection for online processing (§V-D extension).
+
+    Observes the per-segment SecPE requirement (Eq. 2 on each arriving
+    segment), maintains an exponentially weighted moving average plus a
+    safety margin, and switches implementations only when the predicted
+    requirement leaves the current implementation's coverage — modelling
+    that a bitstream switch (reconfiguration) is expensive.
+
+    Parameters
+    ----------
+    implementations:
+        The generated implementation set.
+    analyzer:
+        Skew analyzer used on each observed segment.
+    alpha:
+        EWMA smoothing factor (weight of the newest observation).
+    margin:
+        Extra SecPEs of headroom on top of the prediction.
+    """
+
+    def __init__(
+        self,
+        implementations: Sequence[Implementation],
+        analyzer: SkewAnalyzer | None = None,
+        alpha: float = 0.3,
+        margin: int = 1,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        self.implementations = list(implementations)
+        self.analyzer = analyzer or SkewAnalyzer(sample_fraction=0.1)
+        self.alpha = alpha
+        self.margin = margin
+        self._ewma: float | None = None
+        self.current = select_online(self.implementations)
+        self.switches = 0
+        self.history: List[int] = []
+
+    def observe(self, segment: TupleBatch, kernel: KernelSpec
+                ) -> Implementation:
+        """Feed one stream segment; returns the implementation to use."""
+        report = self.analyzer.analyze(segment, kernel)
+        self.history.append(report.required_secpes)
+        if self._ewma is None:
+            self._ewma = float(report.required_secpes)
+        else:
+            self._ewma = (
+                self.alpha * report.required_secpes
+                + (1.0 - self.alpha) * self._ewma
+            )
+        predicted = min(
+            int(round(self._ewma)) + self.margin,
+            max(im.config.secpes for im in self.implementations),
+        )
+        covered = self.current.config.secpes
+        if predicted > covered or predicted < covered - 2 * self.margin - 1:
+            chosen = select_offline(self.implementations, predicted)
+            if chosen.label != self.current.label:
+                self.current = chosen
+                self.switches += 1
+        return self.current
+
+    @property
+    def predicted_secpes(self) -> float:
+        """Current EWMA of the per-segment requirement."""
+        return self._ewma if self._ewma is not None else 0.0

@@ -1,0 +1,200 @@
+"""High-level application specifications (paper §V-B, Listing 2).
+
+With Ditto "developers only need to write high-level specifications
+without touching hardware design details": the PrePE body (routing rule)
+and the PE body (buffer update).  In this reproduction those two bodies
+live in a :class:`~repro.core.kernel.KernelSpec`; an :class:`AppSpec`
+bundles the kernel factory with the synthesis-facing parameters the
+generator needs — the tuple width (determining the lane count) and the
+initiation intervals the HLS tool would report for the two bodies.
+
+The five ready-made specs correspond to the paper's Table I applications
+and record the kernel-code line counts the paper quotes (e.g. HISTO: 6
+lines with Ditto vs ~200 for Jiang et al.'s hand-written version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.core.kernel import KernelSpec
+
+
+@dataclass(frozen=True)
+class CodegenHints:
+    """The HLS-facing snippets of a specification (Listing 2's bodies).
+
+    These are the strings the OpenCL generator inlines into the PrePE
+    and PE kernel templates; ``{mask}`` in ``route_expr`` is replaced
+    with the PriPE-count mask at generation time.
+    """
+
+    route_expr: str = "t.key & {mask}"
+    prepare_value_expr: str = "t.value"
+    process_stmt: str = "hist[HASH(r.key)]++;"
+    buffer_decl: str = "__private uint hist[BUFFER_WORDS];"
+    result_type: str = "uint"
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """A Ditto application specification.
+
+    Attributes
+    ----------
+    name:
+        Application short name (Table I).
+    kernel_factory:
+        ``pripes -> KernelSpec`` building the application logic for a
+        given PriPE count (the generator decides M).
+    tuple_bytes:
+        Wire size of one tuple (8 throughout the paper's evaluation).
+    ii_prepe:
+        Estimated initiation interval of the PrePE body, as the HLS tool
+        would report ("the logic programmed by developers will be
+        synthesized by the HLS tool to get the estimated II", §V-C).
+    ii_pe:
+        Estimated II of the PriPE/SecPE body (2 = read + write on a
+        single-ported BRAM buffer).
+    spec_lines:
+        Lines of high-level specification code (the paper's productivity
+        metric: PR is 22 lines, HISTO 6).
+    description:
+        Table I description.
+    """
+
+    name: str
+    kernel_factory: Callable[[int], KernelSpec]
+    tuple_bytes: int = 8
+    ii_prepe: int = 1
+    ii_pe: int = 2
+    spec_lines: Optional[int] = None
+    description: str = ""
+    codegen: CodegenHints = field(default_factory=CodegenHints)
+
+
+def histogram_spec(bins: int = 1024) -> AppSpec:
+    """HISTO: equi-width histograms (Listing 2; 6 spec lines)."""
+    from repro.apps.histo import HistogramKernel
+
+    return AppSpec(
+        name="HISTO",
+        kernel_factory=lambda pripes: HistogramKernel(bins=bins,
+                                                      pripes=pripes),
+        spec_lines=6,
+        description=(
+            "Represents the distribution of numerical data with "
+            "equi-width histograms"
+        ),
+        codegen=CodegenHints(
+            route_expr="HASH(t.key) & {mask}",
+            process_stmt="hist[HASH(r.key) >> LOG2_M]++;",
+            buffer_decl="__private uint hist[BINS_PER_PE];",
+        ),
+    )
+
+
+def partition_spec(radix_bits_count: int = 8) -> AppSpec:
+    """DP: radix data partitioning."""
+    from repro.apps.partition import PartitionKernel
+
+    return AppSpec(
+        name="DP",
+        kernel_factory=lambda pripes: PartitionKernel(
+            radix_bits_count=radix_bits_count, pripes=pripes
+        ),
+        spec_lines=8,
+        description=(
+            "Separates a big dataset into many chunks with radix hash "
+            "function"
+        ),
+        codegen=CodegenHints(
+            route_expr="RADIX(t.key) & {mask}",
+            process_stmt=(
+                "buf[RADIX(r.key)][fill[RADIX(r.key)]++] = r.key; "
+                "if (fill[RADIX(r.key)] == BURST) flush(RADIX(r.key));"
+            ),
+            buffer_decl=(
+                "__private uint buf[PARTS_PER_PE][BURST]; "
+                "__private ushort fill[PARTS_PER_PE];"
+            ),
+        ),
+    )
+
+
+def pagerank_spec(num_vertices: int) -> AppSpec:
+    """PR: fixed-point PageRank (22 spec lines vs ~800 in [8])."""
+    from repro.apps.pagerank import PageRankKernel
+
+    return AppSpec(
+        name="PR",
+        kernel_factory=lambda pripes: PageRankKernel(
+            num_vertices, pripes=pripes
+        ),
+        spec_lines=22,
+        description=(
+            "Scores the importance of websites by links with fixed-point "
+            "data type"
+        ),
+        codegen=CodegenHints(
+            route_expr="t.key & {mask}",          # key = dst vertex
+            prepare_value_expr="contrib[t.value]",  # value = src vertex
+            process_stmt="rank_next[r.key >> LOG2_M] += (int)r.value;",
+            buffer_decl="__private int rank_next[VERTS_PER_PE];",
+            result_type="int",
+        ),
+    )
+
+
+def hyperloglog_spec(precision: int = 14) -> AppSpec:
+    """HLL: murmur3-based cardinality estimation."""
+    from repro.apps.hyperloglog import HyperLogLogKernel
+
+    return AppSpec(
+        name="HLL",
+        kernel_factory=lambda pripes: HyperLogLogKernel(
+            precision=precision, pripes=pripes
+        ),
+        spec_lines=10,
+        description=(
+            "Estimates the cardinality of the big datasets with murmur3 "
+            "hash function"
+        ),
+        codegen=CodegenHints(
+            route_expr="(MURMUR3(t.key) >> (64 - P)) & {mask}",
+            process_stmt=(
+                "uchar rho = clz(MURMUR3(r.key) << P) + 1; "
+                "uint idx = (MURMUR3(r.key) >> (64 - P)) >> LOG2_M; "
+                "if (rho > regs[idx]) regs[idx] = rho;"
+            ),
+            buffer_decl="__private uchar regs[REGS_PER_PE];",
+            result_type="uchar",
+        ),
+    )
+
+
+def heavy_hitter_spec(threshold: int = 256) -> AppSpec:
+    """HHD: count-min-sketch heavy hitter detection."""
+    from repro.apps.heavy_hitter import HeavyHitterKernel
+
+    return AppSpec(
+        name="HHD",
+        kernel_factory=lambda pripes: HeavyHitterKernel(
+            threshold=threshold, pripes=pripes
+        ),
+        spec_lines=12,
+        description="Detects heavy hitters in the data streams with the "
+                    "count-min sketch",
+        codegen=CodegenHints(
+            route_expr="t.key & {mask}",
+            process_stmt=(
+                "uint est = UINT_MAX; "
+                "#pragma unroll\n        for (int d = 0; d < DEPTH; d++) "
+                "{ uint c = ++cms[d][CMS_HASH(d, r.key)]; "
+                "est = min(est, c); } "
+                "if (est >= TRACK_THRESHOLD) track(r.key, est);"
+            ),
+            buffer_decl="__private uint cms[DEPTH][WIDTH_PER_PE];",
+        ),
+    )

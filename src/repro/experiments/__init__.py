@@ -1,0 +1,12 @@
+"""First-class experiment implementations.
+
+One module per table/figure of the paper's evaluation.  Each exposes a
+``run()`` returning structured results and a ``render()`` producing the
+ASCII table/series.  The pytest benches (``benchmarks/``) call these and
+assert the shape claims; the CLI (``python -m repro experiment <name>``)
+renders them interactively.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

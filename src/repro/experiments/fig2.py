@@ -1,0 +1,96 @@
+"""Fig. 2 — the motivation experiment (§II-B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis import paper_data
+from repro.analysis.figures import render_heatmap, render_series
+from repro.apps.histo import HistogramKernel
+from repro.perf.steady import steady_throughput_mtps
+from repro.workloads.zipf import ZipfGenerator
+
+PRIPES = 16
+FREQ_16P = 246.0
+
+
+@dataclass
+class Fig2aResult:
+    """Workload heatmap rows (normalised to uniform)."""
+
+    alphas: List[float]
+    heatmap: np.ndarray
+
+    def hottest_per_row(self) -> np.ndarray:
+        """Hottest-cell magnitude per alpha."""
+        return self.heatmap.max(axis=1)
+
+    def render(self) -> str:
+        """ASCII heatmap + hottest-cell comparison vs the paper."""
+        body = render_heatmap(
+            self.heatmap,
+            [f"a={a}" for a in self.alphas],
+            [str(pe + 1) for pe in range(self.heatmap.shape[1])],
+            title=("Fig.2a reproduction: HISTO 16-PE workload, normalised "
+                   "to uniform (paper hot cells: 4.3 ... 13.3)"),
+        )
+        compare = render_series(
+            [f"{a}" for a in self.alphas],
+            {
+                "paper hottest": [max(r) for r in paper_data.FIG2A_HEATMAP],
+                "ours hottest": list(self.hottest_per_row()),
+            },
+            title="Hottest-cell magnitude per alpha (paper vs reproduced)",
+        )
+        return body + "\n\n" + compare
+
+
+def run_fig2a(tuples_per_row: int = 400_000,
+              seed_base: int = 40) -> Fig2aResult:
+    """Compute the Fig. 2a heatmap (fresh dataset seed per row)."""
+    alphas = paper_data.FIG2A_ALPHAS
+    kernel = HistogramKernel(bins=4096, pripes=PRIPES)
+    rows = []
+    for i, alpha in enumerate(alphas):
+        gen = ZipfGenerator(alpha=alpha, seed=seed_base + i)
+        batch = gen.generate(tuples_per_row)
+        counts = np.bincount(kernel.route_array(batch.keys),
+                             minlength=PRIPES)
+        rows.append(counts / (tuples_per_row / PRIPES))
+    return Fig2aResult(alphas=list(alphas), heatmap=np.asarray(rows))
+
+
+@dataclass
+class Fig2bResult:
+    """HISTO throughput vs Zipf factor (16P, no skew handling)."""
+
+    alphas: List[float]
+    mtps: List[float]
+
+    @property
+    def slowdown(self) -> float:
+        """Uniform / extreme-skew throughput ratio."""
+        return self.mtps[0] / self.mtps[-1]
+
+    def render(self) -> str:
+        return render_series(
+            [f"{a}" for a in self.alphas],
+            {"MT/s (16P, no skew handling)": self.mtps},
+            title=("Fig.2b reproduction: HISTO throughput vs Zipf factor "
+                   f"(paper: ~{paper_data.FIG2B_UNIFORM_MTPS:.0f} MT/s at "
+                   "alpha=0, ~1/16th at alpha=3)"),
+        )
+
+
+def run_fig2b(seed_base: int = 60) -> Fig2bResult:
+    """Throughput sweep over alpha = 0 ... 3 in steps of 0.25."""
+    alphas = [0.25 * i for i in range(13)]
+    mtps = []
+    for i, alpha in enumerate(alphas):
+        gen = ZipfGenerator(alpha=alpha, seed=seed_base + i)
+        shares = gen.expected_shares(destinations=PRIPES)
+        mtps.append(steady_throughput_mtps(shares, FREQ_16P))
+    return Fig2bResult(alphas=alphas, mtps=mtps)

@@ -1,0 +1,89 @@
+"""Fig. 7 — HLL implementations across Zipf factors + Ditto selection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis import paper_data
+from repro.analysis.figures import render_series
+from repro.apps.hyperloglog import HyperLogLogKernel
+from repro.core.config import ArchitectureConfig
+from repro.ditto.analyzer import SkewAnalyzer
+from repro.ditto.framework import DittoFramework
+from repro.ditto.spec import hyperloglog_spec
+from repro.perf.epoch import EpochModel
+from repro.workloads.zipf import ZipfGenerator
+
+FREQ = {"16P": 246.0, "32P": 191.0, "16P+1S": 202.0, "16P+2S": 180.0,
+        "16P+4S": 192.0, "16P+8S": 196.0, "16P+15S": 188.0}
+IMPL_ORDER = ["16P", "16P+1S", "16P+2S", "16P+4S", "16P+8S", "16P+15S"]
+
+
+@dataclass
+class Fig7Result:
+    """The full sweep: per-implementation series, ticks, speedups."""
+
+    alphas: List[float]
+    series: Dict[str, List[float]]
+    ticks: List[str]
+    speedups: List[float]
+
+    @property
+    def max_speedup(self) -> float:
+        """Largest selected-implementation speedup over 16P."""
+        return max(self.speedups)
+
+    def render(self) -> str:
+        labels = [f"{a}" for a in self.alphas]
+        body = render_series(
+            labels,
+            {**self.series, "selected speedup": self.speedups},
+            title="Fig.7 reproduction: HLL MT/s per implementation vs "
+                  "Zipf factor (paper max speedup: 12x)",
+        )
+        ticks = "Ditto ticks:  " + "  ".join(
+            f"{a}->{t}" for a, t in zip(labels, self.ticks))
+        return body + "\n" + ticks
+
+
+def _configs() -> Dict[str, ArchitectureConfig]:
+    out = {}
+    for label, secpes in [("16P", 0), ("16P+1S", 1), ("16P+2S", 2),
+                          ("16P+4S", 4), ("16P+8S", 8), ("16P+15S", 15)]:
+        out[label] = ArchitectureConfig(secpes=secpes,
+                                        reschedule_threshold=0.0)
+    out["32P"] = ArchitectureConfig(lanes=8, pripes=32, secpes=0,
+                                    reschedule_threshold=0.0)
+    return out
+
+
+def run_fig7(tuples: int = 400_000, seed_base: int = 70) -> Fig7Result:
+    """The full Fig. 7 sweep on the validated epoch model.
+
+    Uses the paper's absolute analyzer sample count (25,600) regardless
+    of the sweep's dataset size so Eq. 2's noise behaviour matches.
+    """
+    alphas = paper_data.FIG7_ALPHAS
+    configs = _configs()
+    series: Dict[str, List[float]] = {label: [] for label in configs}
+    ticks: List[str] = []
+    framework = DittoFramework(
+        hyperloglog_spec(precision=14),
+        analyzer=SkewAnalyzer(
+            sample_fraction=min(1.0, 25_600 / tuples), tolerance=0.01),
+        secpe_counts=paper_data.FIG7_SECPE_SWEEP,
+    )
+    for i, alpha in enumerate(alphas):
+        batch = ZipfGenerator(alpha=alpha, seed=seed_base + i).generate(
+            tuples)
+        for label, config in configs.items():
+            kernel = HyperLogLogKernel(precision=14, pripes=config.pripes)
+            route = kernel.route_array(batch.keys)
+            result = EpochModel(config, window_tuples=32_768).run(route)
+            series[label].append(result.throughput_mtps(FREQ[label]))
+        ticks.append(framework.choose_offline(batch).implementation.label)
+    speedups = [series[t][i] / series["16P"][i]
+                for i, t in enumerate(ticks)]
+    return Fig7Result(alphas=list(alphas), series=series, ticks=ticks,
+                      speedups=speedups)

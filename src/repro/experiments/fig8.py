@@ -1,0 +1,72 @@
+"""Fig. 8 — PageRank on undirected graphs vs plain data routing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis import paper_data
+from repro.analysis.figures import render_series
+from repro.core.config import ArchitectureConfig
+from repro.ditto.analyzer import eq2_required_secpes
+from repro.perf.epoch import EpochModel
+from repro.workloads.graphs import paper_graph_suite
+
+PRIPES = 16
+FREQ_BASE = 246.0
+FREQ_DITTO = 188.0
+
+
+@dataclass
+class Fig8Result:
+    """Per-graph MTEPS of the baseline and the selected Ditto build."""
+
+    names: List[str]
+    baseline_mteps: List[float]
+    ditto_mteps: List[float]
+    selected_secpes: List[int]
+
+    @property
+    def speedups(self) -> List[float]:
+        """Ditto / Chen et al. throughput ratio per graph."""
+        return [d / b for d, b in zip(self.ditto_mteps,
+                                      self.baseline_mteps)]
+
+    def render(self) -> str:
+        body = render_series(
+            self.names,
+            {
+                "Chen et al. MTEPS": self.baseline_mteps,
+                "Ditto MTEPS": self.ditto_mteps,
+                "speedup": self.speedups,
+                "paper speedup": paper_data.FIG8_SPEEDUPS,
+            },
+            title="Fig.8 reproduction: PR throughput on undirected "
+                  "graphs (ascending degree; paper speedups 2.9...7.1x)",
+        )
+        return body + "\nselected SecPEs per graph: " + " ".join(
+            str(x) for x in self.selected_secpes)
+
+
+def run_fig8(scale_factor: float = 1.0, seed: int = 3) -> Fig8Result:
+    """Sweep the graph suite through baseline (X=0) and Ditto builds."""
+    suite = paper_graph_suite(scale_factor=scale_factor, seed=seed)
+    names, base, ditto, selected = [], [], [], []
+    for graph in suite:
+        route = (graph.dst % PRIPES).astype(np.int64)
+        counts = np.bincount(route, minlength=PRIPES)
+        required = max(
+            1, eq2_required_secpes(counts.astype(float), noise_sigmas=0.0))
+        base_cfg = ArchitectureConfig(secpes=0, reschedule_threshold=0.0)
+        ditto_cfg = ArchitectureConfig(secpes=required,
+                                       reschedule_threshold=0.0)
+        base_run = EpochModel(base_cfg, window_tuples=32_768).run(route)
+        ditto_run = EpochModel(ditto_cfg, window_tuples=32_768).run(route)
+        names.append(graph.name)
+        base.append(base_run.throughput_mtps(FREQ_BASE))
+        ditto.append(ditto_run.throughput_mtps(FREQ_DITTO))
+        selected.append(required)
+    return Fig8Result(names=names, baseline_mteps=base,
+                      ditto_mteps=ditto, selected_secpes=selected)

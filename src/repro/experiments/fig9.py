@@ -1,0 +1,70 @@
+"""Fig. 9 — online HISTO under evolving data skew."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.figures import render_series
+from repro.core.config import ArchitectureConfig
+from repro.perf.evolving import (
+    EvolvingPoint,
+    EvolvingSkewModel,
+    fig9_intervals,
+)
+from repro.workloads.streams import NetworkModel
+
+
+def format_interval(seconds: float) -> str:
+    """Human-readable interval label (the paper's axis style)."""
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.0f}ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.0f}us"
+    return f"{seconds * 1e9:.0f}ns"
+
+
+@dataclass
+class Fig9Result:
+    """Throughput and rescheduling count per change interval."""
+
+    intervals: List[float]
+    points: List[EvolvingPoint]
+    baseline_gbps: float
+
+    def render(self) -> str:
+        return render_series(
+            [format_interval(i) for i in self.intervals],
+            {
+                "Ditto Gbps": [p.throughput_gbps for p in self.points],
+                "baseline Gbps": [self.baseline_gbps] * len(self.points),
+                "resched/s": [float(p.reschedules) for p in self.points],
+            },
+            title="Fig.9 reproduction: online HISTO (16P+15S, alpha=3) "
+                  "vs distribution-change interval (network: 100 Gbps)",
+        )
+
+
+def default_model() -> EvolvingSkewModel:
+    """The paper's Fig. 9 configuration: 16P+15S at 188 MHz, 0.5 ms
+    OpenCL re-enqueue overhead, 512-deep channels."""
+    config = ArchitectureConfig(
+        secpes=15,
+        channel_depth=512,
+        monitor_window=2048,
+        profiling_cycles=256,
+        reenqueue_delay_cycles=94_000,
+    )
+    return EvolvingSkewModel(config=config, frequency_mhz=188.0,
+                             network=NetworkModel())
+
+
+def run_fig9(model: EvolvingSkewModel | None = None) -> Fig9Result:
+    """Sweep the paper's 26 intervals (512 ms ... 16 ns)."""
+    model = model or default_model()
+    intervals = fig9_intervals()
+    return Fig9Result(
+        intervals=intervals,
+        points=model.sweep(intervals),
+        baseline_gbps=model.baseline_gbps(),
+    )

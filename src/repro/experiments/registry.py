@@ -1,0 +1,70 @@
+"""Registry mapping experiment names to runnable render functions."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+
+def _fig2a() -> str:
+    from repro.experiments.fig2 import run_fig2a
+    return run_fig2a().render()
+
+
+def _fig2b() -> str:
+    from repro.experiments.fig2 import run_fig2b
+    return run_fig2b().render()
+
+
+def _table2() -> str:
+    from repro.experiments.table2 import render_table2, run_table2
+    return render_table2(run_table2())
+
+
+def _fig7() -> str:
+    from repro.experiments.fig7 import run_fig7
+    return run_fig7().render()
+
+
+def _table3() -> str:
+    from repro.experiments.table3 import render_table3, run_table3
+    return render_table3(run_table3())
+
+
+def _fig8() -> str:
+    from repro.experiments.fig8 import run_fig8
+    return run_fig8().render()
+
+
+def _fig9() -> str:
+    from repro.experiments.fig9 import run_fig9
+    return run_fig9().render()
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "fig2a": _fig2a,
+    "fig2b": _fig2b,
+    "table2": _table2,
+    "fig7": _fig7,
+    "table3": _table3,
+    "fig8": _fig8,
+    "fig9": _fig9,
+}
+"""Every reproducible table/figure, keyed by its paper name."""
+
+
+def run_experiment(name: str) -> str:
+    """Run one experiment by name and return its rendered output.
+
+    Raises
+    ------
+    KeyError
+        With the list of valid names, if ``name`` is unknown.
+    """
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+    return runner()

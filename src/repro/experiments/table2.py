@@ -1,0 +1,131 @@
+"""Table II — comparison with the state of the art on uniform data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.baselines.anchors import PUBLISHED_ANCHORS
+from repro.baselines.multikernel_dp import MultikernelPartitionModel
+from repro.baselines.single_pe import SinglePESketchModel
+from repro.baselines.static_dispatch import StaticDispatchModel
+from repro.perf.steady import steady_throughput_mtps
+from repro.resources.estimator import ResourceEstimator
+from repro.workloads.zipf import ZipfGenerator
+
+LANES = 8
+PRIPES = 16
+DATASET = 26_000_000
+FREQ = {"HISTO": 246.0, "DP": 202.0, "PR": 246.0, "HLL": 246.0,
+        "HHD": 240.0}
+
+
+@dataclass
+class Table2Row:
+    """One comparison row: Ditto vs one existing design."""
+
+    key: str
+    app: str
+    name: str
+    language: str
+    source: str
+    throughput_ratio: float
+    paper_throughput_ratio: float
+    bram_saving: float
+    paper_bram_saving: float
+
+
+def _uniform_shares(seed: int = 3) -> np.ndarray:
+    return ZipfGenerator(alpha=0.0, seed=seed).expected_shares(
+        destinations=PRIPES)
+
+
+def ditto_throughput_mtps(app: str) -> float:
+    """Ditto's modelled throughput on the paper's comparison dataset."""
+    shares = _uniform_shares()
+    if app == "HHD":
+        # "half of the tuples with the same key": one PE holds ~53%.
+        shares = np.full(PRIPES, 0.5 / PRIPES)
+        shares[7] += 0.5
+        return steady_throughput_mtps(shares, FREQ[app], lanes=LANES,
+                                      secpes=15)
+    return steady_throughput_mtps(shares, FREQ[app], lanes=LANES)
+
+
+def comparator_throughput_mtps(key: str) -> float:
+    """Computed (structural) or anchored comparator throughput."""
+    anchor = PUBLISHED_ANCHORS[key]
+    if key == "jiang_histo":
+        return StaticDispatchModel(
+            pes=16, frequency_mhz=246.0, structure_entries=64 * 1024,
+            cpu_merge_rate=4.0e8,
+        ).end_to_end_throughput_mtps(DATASET)
+    if key == "wang_dp":
+        return MultikernelPartitionModel(
+            frequency_mhz=202.0).throughput_mtps()
+    if key == "chen_pr":
+        return steady_throughput_mtps(_uniform_shares(), FREQ["PR"],
+                                      lanes=LANES)
+    if key == "tong_hhd":
+        return SinglePESketchModel(
+            frequency_mhz=anchor.normalized_throughput_mtps
+        ).throughput_mtps()
+    return anchor.normalized_throughput_mtps
+
+
+def bram_saving(key: str) -> float:
+    """Per-PE BRAM saving factor of Ditto vs this comparator."""
+    anchor = PUBLISHED_ANCHORS[key]
+    est = ResourceEstimator()
+    if anchor.replication_factor == 1 and anchor.pes == 1:
+        return 1.0
+    if anchor.replication_factor == 1:
+        return float(anchor.pes) if anchor.app == "DP" else 1.0
+    if anchor.app == "HISTO":
+        return est.bram_saving_vs_replication(anchor.pes, 2)
+    return est.bram_saving_vs_replication(anchor.replication_factor, 1)
+
+
+def run_table2() -> List[Table2Row]:
+    """Build all seven comparison rows."""
+    rows = []
+    for key, anchor in PUBLISHED_ANCHORS.items():
+        ditto = ditto_throughput_mtps(anchor.app)
+        other = comparator_throughput_mtps(key)
+        rows.append(Table2Row(
+            key=key, app=anchor.app, name=anchor.name,
+            language=anchor.language, source=anchor.source,
+            throughput_ratio=ditto / other,
+            paper_throughput_ratio=anchor.paper_throughput_ratio,
+            bram_saving=bram_saving(key),
+            paper_bram_saving=anchor.paper_bram_saving,
+        ))
+    return rows
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    """ASCII Table II with the paper's columns alongside."""
+    table = Table(
+        ["App", "Existing work", "P.L.", "Source",
+         "Thro. (paper)", "Thro. (ours)",
+         "B.U.Saving (paper)", "B.U.Saving (ours)"],
+        title="Table II reproduction: Ditto vs state-of-the-art "
+              "(uniform datasets)",
+    )
+    for row in rows:
+        table.add_row([
+            row.app, row.name, row.language, row.source,
+            f"{row.paper_throughput_ratio:.1f}x",
+            f"{row.throughput_ratio:.1f}x",
+            f"{row.paper_bram_saving:.0f}x",
+            f"{row.bram_saving:.0f}x",
+        ])
+    return table.render()
+
+
+def rows_by_key(rows: List[Table2Row]) -> Dict[str, Table2Row]:
+    """Index rows by their anchor key."""
+    return {row.key: row for row in rows}

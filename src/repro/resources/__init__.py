@@ -1,0 +1,37 @@
+"""FPGA device and resource models.
+
+Replaces the Quartus place-and-route step of the paper's flow with:
+
+* :class:`~repro.resources.device.Device` — the Arria 10 GX 1150 on Intel's
+  PAC card, with the resource totals implied by Table III's percentages.
+* :class:`~repro.resources.estimator.ResourceEstimator` — a component-based
+  BRAM/ALM/DSP cost model for generated implementations.
+* :class:`~repro.resources.frequency.FrequencyModel` — fmax as a function
+  of utilisation, with the paper's measured builds as calibration anchors.
+"""
+
+from repro.resources.calibration import TABLE3_MEASUREMENTS, Table3Row
+from repro.resources.device import (
+    ARRIA10_GX1150,
+    PAC_PLATFORM,
+    XILINX_U250,
+    XILINX_U250_PLATFORM,
+    Device,
+    Platform,
+)
+from repro.resources.estimator import ResourceEstimate, ResourceEstimator
+from repro.resources.frequency import FrequencyModel
+
+__all__ = [
+    "ARRIA10_GX1150",
+    "Device",
+    "FrequencyModel",
+    "PAC_PLATFORM",
+    "Platform",
+    "ResourceEstimate",
+    "ResourceEstimator",
+    "TABLE3_MEASUREMENTS",
+    "Table3Row",
+    "XILINX_U250",
+    "XILINX_U250_PLATFORM",
+]

@@ -1,0 +1,50 @@
+"""Measured build results from the paper (Table III).
+
+These seven rows are the HLL implementations the authors synthesised with
+Intel FPGA SDK for OpenCL 17.1.1.  They serve two purposes here:
+
+1. calibration anchors for the component-based resource estimator and the
+   frequency model (place-and-route outcomes cannot be predicted exactly
+   without the toolchain), and
+2. the reference column of the Table III reproduction bench, which prints
+   paper-vs-model for every row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One row of Table III.
+
+    ``pripes``/``secpes`` identify the implementation (e.g. 16P+2S), the
+    remaining fields are the reported synthesis results.
+    """
+
+    label: str
+    pripes: int
+    secpes: int
+    frequency_mhz: float
+    ram_blocks: int
+    logic_alms: int
+    dsp_blocks: int
+
+
+TABLE3_MEASUREMENTS: Dict[Tuple[int, int], Table3Row] = {
+    (16, 0): Table3Row("16P", 16, 0, 246.0, 597, 163_934, 403),
+    (32, 0): Table3Row("32P", 32, 0, 191.0, 1_868, 230_838, 729),
+    (16, 1): Table3Row("16P+1S", 16, 1, 202.0, 908, 184_826, 409),
+    (16, 2): Table3Row("16P+2S", 16, 2, 180.0, 1_021, 203_083, 575),
+    (16, 4): Table3Row("16P+4S", 16, 4, 192.0, 1_309, 212_856, 587),
+    (16, 8): Table3Row("16P+8S", 16, 8, 196.0, 1_374, 281_667, 616),
+    (16, 15): Table3Row("16P+15S", 16, 15, 188.0, 2_129, 230_095, 658),
+}
+"""Keyed by ``(pripes, secpes)``; the seven builds of Table III."""
+
+
+def lookup_measurement(pripes: int, secpes: int) -> Optional[Table3Row]:
+    """Return the paper's measured build for this configuration, if any."""
+    return TABLE3_MEASUREMENTS.get((pripes, secpes))

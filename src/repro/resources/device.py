@@ -1,0 +1,147 @@
+"""Device and platform descriptions.
+
+The paper's experiments run on Intel's PCIe Programmable Acceleration Card
+(PAC) with an Arria 10 GX FPGA (§VI-A1): 1,150K logic elements, 65.7 Mb of
+on-chip memory and 3,036 DSP blocks, attached to 2 x 4 GB DDR4.
+
+Table III reports utilisation both as counts and percentages, which pins
+down the denominators the authors used:
+
+* logic: 163,934 = 38 % -> 427,200 ALMs (the GX 1150 ALM count);
+* RAM:   597 = 22 %     -> 2,713 M20K blocks (65.7 Mb / 20 kb);
+* DSP:   403 = 27 %     -> 1,518 DSP blocks (each fusing two 18x19
+  multipliers, hence the "3,036" in the prose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Device:
+    """Static resource inventory of an FPGA device.
+
+    Attributes
+    ----------
+    name:
+        Marketing name of the part.
+    alms:
+        Adaptive logic modules ("logic" rows of Table III).
+    m20k_blocks:
+        20-kilobit embedded RAM blocks ("RAM" rows of Table III).
+    dsp_blocks:
+        Hard DSP blocks ("DSP" rows of Table III).
+    bram_bits:
+        Total on-chip memory in bits.
+    """
+
+    name: str
+    alms: int
+    m20k_blocks: int
+    dsp_blocks: int
+    bram_bits: int
+
+    @property
+    def m20k_bits(self) -> int:
+        """Capacity of one embedded RAM block in bits."""
+        return 20 * 1024
+
+    def ram_blocks_for_bits(self, bits: int) -> int:
+        """Number of M20K blocks needed to store ``bits`` of data."""
+        if bits <= 0:
+            return 0
+        return -(-bits // self.m20k_bits)  # ceil division
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A board-level platform: device + memory interface + shell.
+
+    Attributes
+    ----------
+    device:
+        The FPGA part.
+    memory_interface_bits:
+        Width of the global-memory data path per cycle (512 bits on the
+        PAC: "the memory interface reads eight [8-byte] tuples per cycle").
+    memory_banks:
+        Number of independent DDR4 banks.
+    memory_bank_bytes:
+        Capacity per bank.
+    shell_alms / shell_m20k / shell_dsp:
+        Static resource consumption of the vendor shell (the "built-in
+        shell" whose static cost makes resource growth non-proportional in
+        Table III).
+    kernel_enqueue_overhead_s:
+        Host-side latency of dequeueing + re-enqueueing an OpenCL kernel,
+        which bounds how fast SecPE rescheduling can happen (Fig. 9).
+    """
+
+    device: Device
+    memory_interface_bits: int
+    memory_banks: int
+    memory_bank_bytes: int
+    shell_alms: int
+    shell_m20k: int
+    shell_dsp: int
+    kernel_enqueue_overhead_s: float
+
+    def lanes_for_tuple_bytes(self, tuple_bytes: int) -> int:
+        """Tuples delivered per cycle: W_mem / W_tuple (Eq. 1 RHS)."""
+        if tuple_bytes <= 0:
+            raise ValueError("tuple size must be positive")
+        return max(1, self.memory_interface_bits // (8 * tuple_bytes))
+
+
+ARRIA10_GX1150 = Device(
+    name="Arria 10 GX 1150",
+    alms=427_200,
+    m20k_blocks=2_713,
+    dsp_blocks=1_518,
+    bram_bits=int(65.7e6),
+)
+"""The FPGA on Intel's PAC card used throughout the paper's evaluation."""
+
+
+PAC_PLATFORM = Platform(
+    device=ARRIA10_GX1150,
+    memory_interface_bits=512,
+    memory_banks=2,
+    memory_bank_bytes=4 * 1024**3,
+    # The Intel PAC OpenCL BSP statically consumes roughly this much of the
+    # device; calibrated so the estimator reproduces Table III's 16P row.
+    shell_alms=100_000,
+    shell_m20k=350,
+    shell_dsp=180,
+    kernel_enqueue_overhead_s=0.5e-3,
+)
+"""Intel PAC + OpenCL 17.1.1 shell, as used in §VI-A1."""
+
+
+XILINX_U250 = Device(
+    name="Xilinx Alveo U250",
+    alms=863_000,            # LUT-equivalents (CLB LUTs)
+    m20k_blocks=2_000,       # BRAM18-pair equivalents (~54 Mb) + URAM apart
+    dsp_blocks=12_288,
+    bram_bits=int(54e6),
+)
+"""A representative Xilinx datacenter card for the §V-A migration path.
+
+The paper notes the system "can be migrated to the Xilinx OpenCL
+tool-chain as well"; in this reproduction the platform is data, so the
+migration is a configuration, not a code change.
+"""
+
+
+XILINX_U250_PLATFORM = Platform(
+    device=XILINX_U250,
+    memory_interface_bits=512,
+    memory_banks=4,
+    memory_bank_bytes=16 * 1024**3,
+    shell_alms=120_000,
+    shell_m20k=300,
+    shell_dsp=100,
+    kernel_enqueue_overhead_s=0.4e-3,
+)
+"""Alveo U250 + XRT shell — the §V-A migration target as a config."""

@@ -1,0 +1,96 @@
+"""Kernel clock frequency (fmax) model.
+
+Place-and-route frequency is the least predictable synthesis outcome: the
+paper's own builds show non-monotone fmax (16P+2S closes at 180 MHz while
+16P+8S reaches 196 MHz).  The model therefore has two layers:
+
+1. For the seven configurations the paper measured (Table III), the
+   measured fmax is returned directly — these drive the Fig. 7 and Fig. 9
+   throughput reproductions, exactly as the authors' numbers did.
+2. For any other configuration, an analytic model is used: a base fmax
+   degraded by routing congestion (utilisation-dependent), plus a small
+   deterministic per-configuration jitter standing in for P&R seed noise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.resources.calibration import lookup_measurement
+from repro.resources.device import PAC_PLATFORM, Platform
+from repro.resources.estimator import ResourceEstimate
+
+
+def _config_jitter(label: str, spread_mhz: float) -> float:
+    """Deterministic pseudo-random fmax offset for a configuration.
+
+    Uses a hash of the label so results are stable across runs and
+    platforms (no RNG state involved).
+    """
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    unit = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF  # [0, 1]
+    return (unit * 2.0 - 1.0) * spread_mhz
+
+
+@dataclass
+class FrequencyModel:
+    """Predicts the kernel clock of a generated implementation.
+
+    Attributes
+    ----------
+    base_mhz:
+        fmax of a nearly empty design on this device/shell.
+    logic_penalty_mhz / ram_penalty_mhz / dsp_penalty_mhz:
+        Linear congestion penalties per unit utilisation.
+    jitter_mhz:
+        Half-width of the deterministic P&R noise term.
+    floor_mhz:
+        Lower clamp (timing closure would be rerun below this in practice).
+    """
+
+    platform: Platform = field(default_factory=lambda: PAC_PLATFORM)
+    base_mhz: float = 285.0
+    logic_penalty_mhz: float = 95.0
+    ram_penalty_mhz: float = 55.0
+    dsp_penalty_mhz: float = 35.0
+    jitter_mhz: float = 12.0
+    floor_mhz: float = 120.0
+
+    def predict(self, estimate: ResourceEstimate) -> float:
+        """fmax in MHz for ``estimate``.
+
+        Measured Table III builds short-circuit to the paper's value —
+        only when ``estimate.measured`` is set (i.e. the estimate came
+        from :meth:`ResourceEstimator.estimate_calibrated`); purely
+        structural estimates always go through the analytic model.
+        """
+        if estimate.measured:
+            measured = self._measured_for_label(estimate.label)
+            if measured is not None:
+                return measured
+        fmax = self.base_mhz
+        fmax -= self.logic_penalty_mhz * estimate.logic_fraction
+        fmax -= self.ram_penalty_mhz * estimate.ram_fraction
+        fmax -= self.dsp_penalty_mhz * estimate.dsp_fraction
+        fmax += _config_jitter(estimate.label, self.jitter_mhz)
+        return max(self.floor_mhz, fmax)
+
+    @staticmethod
+    def _measured_for_label(label: str) -> float | None:
+        """Parse labels like '16P+2S' and look up Table III."""
+        text = label.strip().upper()
+        if not text.endswith(("P", "S")):
+            return None
+        try:
+            if "+" in text:
+                left, right = text.split("+", 1)
+                pripes = int(left.rstrip("P"))
+                secpes = int(right.rstrip("S"))
+            else:
+                pripes = int(text.rstrip("P"))
+                secpes = 0
+        except ValueError:
+            return None
+        row = lookup_measurement(pripes, secpes)
+        return row.frequency_mhz if row else None

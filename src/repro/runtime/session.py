@@ -1,0 +1,92 @@
+"""Online processing session: accumulate results across stream segments.
+
+Each segment runs through a fresh pipeline instance (as the hardware
+would restart its input DMA per buffer), while the application-level
+result accumulates on the host side — a running histogram, a running
+HLL register file, growing partitions.  The session also tracks
+per-segment throughput so online experiments can watch the architecture
+adapt to distribution changes.
+
+Accumulation uses :meth:`KernelSpec.combine_results`, implemented per
+application (histograms add, HLL registers max-fold, partitions extend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.core.architecture import SkewObliviousArchitecture
+from repro.core.config import ArchitectureConfig
+from repro.core.kernel import KernelSpec
+from repro.workloads.tuples import TupleBatch
+
+
+@dataclass
+class SegmentOutcome:
+    """Per-segment record kept by the session."""
+
+    index: int
+    tuples: int
+    cycles: int
+    tuples_per_cycle: float
+    plans: int
+    reschedules: int
+
+
+@dataclass
+class StreamingSession:
+    """Processes stream segments and accumulates the application result.
+
+    Parameters
+    ----------
+    config:
+        Architecture configuration used for every segment.
+    kernel:
+        Application logic; must implement ``combine_results`` for its
+        result type.
+    max_cycles_per_segment:
+        Cycle budget per segment run.
+    """
+
+    config: ArchitectureConfig
+    kernel: KernelSpec
+    max_cycles_per_segment: int = 20_000_000
+    result: Optional[Any] = None
+    history: List[SegmentOutcome] = field(default_factory=list)
+
+    def process(self, batch: TupleBatch) -> SegmentOutcome:
+        """Run one segment and fold its result into the running total."""
+        architecture = SkewObliviousArchitecture(self.config, self.kernel)
+        outcome = architecture.run(
+            batch, max_cycles=self.max_cycles_per_segment)
+        if self.result is None:
+            self.result = outcome.result
+        else:
+            self.result = self.kernel.combine_results(self.result,
+                                                      outcome.result)
+        record = SegmentOutcome(
+            index=len(self.history),
+            tuples=len(batch),
+            cycles=outcome.cycles,
+            tuples_per_cycle=outcome.tuples_per_cycle,
+            plans=len(outcome.plans),
+            reschedules=outcome.reschedules,
+        )
+        self.history.append(record)
+        return record
+
+    @property
+    def total_tuples(self) -> int:
+        """Tuples processed across all segments."""
+        return sum(record.tuples for record in self.history)
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles consumed across all segments."""
+        return sum(record.cycles for record in self.history)
+
+    def average_throughput(self) -> float:
+        """Session-wide tuples per cycle."""
+        cycles = self.total_cycles
+        return self.total_tuples / cycles if cycles else 0.0

@@ -1,0 +1,157 @@
+"""The cycle-driven simulator.
+
+The simulator owns a set of modules and channels.  Each cycle it ticks
+every live module once (in registration order — producers are registered
+before consumers so a freshly staged value is committed exactly one cycle
+before it can be read, matching hardware channel latency) and then commits
+all channels.  Execution ends when a user-supplied condition holds, when
+every module reports done, or when ``max_cycles`` elapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.channel import Channel
+from repro.sim.module import Module
+
+
+@dataclass
+class SimulationReport:
+    """Summary of a finished simulation run.
+
+    Attributes
+    ----------
+    cycles:
+        Number of cycles simulated.
+    completed:
+        True when the stop condition (rather than the cycle budget) ended
+        the run.
+    module_utilization:
+        Busy fraction per module name.
+    channel_peaks:
+        Peak committed occupancy per channel name.
+    channel_write_stalls:
+        Failed-write count per channel name (backpressure events).
+    """
+
+    cycles: int
+    completed: bool
+    module_utilization: Dict[str, float] = field(default_factory=dict)
+    channel_peaks: Dict[str, int] = field(default_factory=dict)
+    channel_write_stalls: Dict[str, int] = field(default_factory=dict)
+
+    def throughput(self, items: int) -> float:
+        """Items processed per cycle over the whole run."""
+        return items / self.cycles if self.cycles else 0.0
+
+
+class Simulator:
+    """Cycle-driven scheduler for modules connected by channels.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> ch = sim.add_channel(Channel("a2b", capacity=4))
+    >>> # ... register producer and consumer Modules ...
+    >>> report = sim.run(max_cycles=1000)
+    """
+
+    def __init__(self) -> None:
+        self._modules: List[Module] = []
+        self._channels: List[Channel] = []
+        self._pending_enqueue: List[Module] = []
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_module(self, module: Module) -> Module:
+        """Register ``module`` and return it (for fluent wiring)."""
+        self._modules.append(module)
+        module.attach(self)
+        return module
+
+    def add_channel(self, channel: Channel) -> Channel:
+        """Register ``channel`` and return it (for fluent wiring)."""
+        self._channels.append(channel)
+        return channel
+
+    def enqueue_module(self, module: Module) -> None:
+        """Schedule ``module`` to start ticking from the *next* cycle.
+
+        Models the host-side ``clEnqueueTask`` the paper uses to re-launch
+        the runtime profiler and the SecPEs after a rescheduling event.
+        """
+        self._pending_enqueue.append(module)
+
+    @property
+    def modules(self) -> List[Module]:
+        """Registered modules, in tick order."""
+        return list(self._modules)
+
+    @property
+    def channels(self) -> List[Channel]:
+        """Registered channels."""
+        return list(self._channels)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the simulation by exactly one cycle."""
+        if self._pending_enqueue:
+            for module in self._pending_enqueue:
+                self._modules.append(module)
+                module.attach(self)
+            self._pending_enqueue.clear()
+        for module in self._modules:
+            if not module.done:
+                module.tick(self.cycle)
+        for channel in self._channels:
+            channel.commit()
+        self.cycle += 1
+
+    def run(
+        self,
+        max_cycles: int = 1_000_000,
+        until: Optional[Callable[["Simulator"], bool]] = None,
+        progress: Optional[Callable[[int], None]] = None,
+        progress_interval: int = 65536,
+    ) -> SimulationReport:
+        """Run until ``until`` holds, all modules finish, or the budget ends.
+
+        Parameters
+        ----------
+        max_cycles:
+            Hard cycle budget; the run is marked incomplete if it is hit.
+        until:
+            Optional stop predicate evaluated after every cycle.
+        progress:
+            Optional callback invoked with the cycle count every
+            ``progress_interval`` cycles (for long interactive runs).
+        """
+        completed = False
+        for _ in range(max_cycles):
+            self.step()
+            if progress is not None and self.cycle % progress_interval == 0:
+                progress(self.cycle)
+            if until is not None and until(self):
+                completed = True
+                break
+            if all(m.done for m in self._modules) and not self._pending_enqueue:
+                completed = True
+                break
+        return self._report(completed)
+
+    def _report(self, completed: bool) -> SimulationReport:
+        return SimulationReport(
+            cycles=self.cycle,
+            completed=completed,
+            module_utilization={m.name: m.utilization for m in self._modules},
+            channel_peaks={c.name: c.peak_occupancy for c in self._channels},
+            channel_write_stalls={
+                c.name: c.write_stalls for c in self._channels
+            },
+        )

@@ -1,0 +1,135 @@
+"""Global-memory model and the burst memory access engines.
+
+The paper's *memory access engine* "coalesces memory requests and accesses
+the global memory in a burst manner" (§IV-C4): every cycle the 512-bit
+interface delivers ``lanes = W_mem / W_tuple`` tuples, one to each PrePE
+lane.  Because a burst is transferred as a unit, the read engine only
+advances when **all** lane channels can accept a tuple — this is exactly
+the mechanism by which one overloaded PE backpressures the entire pipeline
+and collapses throughput under skew.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.sim.channel import Channel
+from repro.sim.module import Module
+
+
+class GlobalMemory:
+    """A named-region model of the card's DDR4 global memory.
+
+    Regions are plain Python lists; the simulator does not model DRAM
+    timing (the burst engine's per-cycle lane width already encodes the
+    achievable sequential bandwidth, which is how the paper normalises
+    bandwidth across platforms in Table II).
+    """
+
+    def __init__(self) -> None:
+        self._regions: Dict[str, List[Any]] = {}
+
+    def allocate(self, name: str, data: Optional[Sequence[Any]] = None) -> List[Any]:
+        """Create region ``name`` (optionally initialised from ``data``)."""
+        if name in self._regions:
+            raise KeyError(f"region {name!r} already allocated")
+        self._regions[name] = list(data) if data is not None else []
+        return self._regions[name]
+
+    def region(self, name: str) -> List[Any]:
+        """Return the backing list of region ``name``."""
+        return self._regions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+
+class MemoryReadEngine(Module):
+    """Streams tuples from global memory into the PrePE lane channels.
+
+    Parameters
+    ----------
+    name:
+        Module name.
+    source:
+        The sequence of tuples to stream (a global-memory region).
+    lanes:
+        Output channels, one per PrePE.  ``len(lanes)`` tuples move per
+        cycle when none of them is full.
+    start_index / end_index:
+        Optional half-open window into ``source`` (used by restartable
+        online runs).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source: Sequence[Any],
+        lanes: Sequence[Channel],
+        start_index: int = 0,
+        end_index: Optional[int] = None,
+    ) -> None:
+        super().__init__(name)
+        if not lanes:
+            raise ValueError("memory read engine needs at least one lane")
+        self._source = source
+        self._lanes = list(lanes)
+        self._cursor = start_index
+        self._end = len(source) if end_index is None else end_index
+        self.tuples_issued = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every tuple in the window has been issued."""
+        return self._cursor >= self._end
+
+    def tick(self, cycle: int) -> None:
+        if self.exhausted:
+            for lane in self._lanes:
+                if not lane.closed:
+                    lane.close()
+            self.finish()
+            return
+        # A burst is all-or-nothing: stall unless every active lane can
+        # accept its tuple this cycle.
+        remaining = self._end - self._cursor
+        active = min(len(self._lanes), remaining)
+        if not all(lane.can_write() for lane in self._lanes[:active]):
+            self.note_stall()
+            return
+        for lane in self._lanes[:active]:
+            lane.write(self._source[self._cursor])
+            self._cursor += 1
+            self.tuples_issued += 1
+        self.note_busy()
+
+
+class MemoryWriteEngine(Module):
+    """Drains a result channel into a global-memory region.
+
+    Models the burst write path used by non-decomposable applications
+    (data partitioning), where PriPEs and SecPEs "output results to their
+    own memory space of the global memory" (§IV-B).
+    """
+
+    def __init__(self, name: str, sink: List[Any], inputs: Sequence[Channel],
+                 drain_per_cycle: int = 8) -> None:
+        super().__init__(name)
+        self._sink = sink
+        self._inputs = list(inputs)
+        self._drain_per_cycle = drain_per_cycle
+        self.tuples_written = 0
+
+    def tick(self, cycle: int) -> None:
+        moved = 0
+        for channel in self._inputs:
+            while moved < self._drain_per_cycle and channel.can_read():
+                self._sink.append(channel.read())
+                self.tuples_written += 1
+                moved += 1
+        if moved:
+            self.note_busy()
+        elif all(ch.exhausted for ch in self._inputs):
+            self.finish()
+        else:
+            self.note_idle()

@@ -1,0 +1,85 @@
+"""Base class for simulation modules (the paper's kernels).
+
+Every box in the paper's Fig. 3 — memory access engines, PrePEs, the data
+routing logic, mappers, the runtime profiler, PriPEs, SecPEs and the
+merger — subclasses :class:`Module`.  A module is ticked once per simulated
+cycle and may only exchange data with other modules through
+:class:`~repro.sim.channel.Channel` objects, mirroring the OpenCL
+autorun-kernel programming model the paper uses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import Simulator
+
+
+class Module:
+    """A concurrently executing kernel in the cycle-driven simulation.
+
+    Subclasses implement :meth:`tick`, which is invoked exactly once per
+    cycle while the module is live.  The base class tracks busy/stall
+    accounting used by the utilisation reports.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.busy_cycles = 0
+        self.stall_cycles = 0
+        self.idle_cycles = 0
+        self._done = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        """Advance the module by one cycle.
+
+        Subclasses must override.  Implementations should call one of
+        :meth:`note_busy`, :meth:`note_stall` or :meth:`note_idle` so the
+        utilisation statistics stay meaningful.
+        """
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Mark the module as finished; the simulator stops ticking it."""
+        self._done = True
+
+    @property
+    def done(self) -> bool:
+        """True once the module declared itself finished."""
+        return self._done
+
+    def attach(self, simulator: "Simulator") -> None:
+        """Hook invoked when the module is registered with a simulator.
+
+        The default implementation does nothing; modules that need to
+        enqueue/dequeue other modules at run time (the runtime profiler
+        re-enqueueing SecPEs) keep a reference to the simulator here.
+        """
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+    def note_busy(self) -> None:
+        """Record that this cycle performed useful work."""
+        self.busy_cycles += 1
+
+    def note_stall(self) -> None:
+        """Record that this cycle was lost to backpressure."""
+        self.stall_cycles += 1
+
+    def note_idle(self) -> None:
+        """Record that this cycle had no input available."""
+        self.idle_cycles += 1
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of observed cycles spent doing useful work."""
+        total = self.busy_cycles + self.stall_cycles + self.idle_cycles
+        return self.busy_cycles / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,36 @@
+"""Workload generators for the evaluation.
+
+* :mod:`repro.workloads.tuples` — the 8-byte ``<key, value>`` tuple batches
+  all five applications consume.
+* :mod:`repro.workloads.zipf` — Zipf(alpha) datasets (Balkesen et al. [13]
+  parameterisation, alpha = 0 ... 3), the skew axis of Fig. 2 and Fig. 7.
+* :mod:`repro.workloads.evolving` — evolving-skew streams whose hot-key
+  set changes every interval (Fig. 9).
+* :mod:`repro.workloads.graphs` — the synthetic graph suite standing in
+  for the public graphs of Fig. 8 (no network access; see DESIGN.md).
+* :mod:`repro.workloads.streams` — the 100 Gbps network arrival model.
+"""
+
+from repro.workloads.evolving import EvolvingZipfStream, StreamSegment
+from repro.workloads.graphs import (
+    GraphDataset,
+    hub_power_graph,
+    paper_graph_suite,
+    rmat_graph,
+)
+from repro.workloads.streams import NetworkModel
+from repro.workloads.tuples import TupleBatch
+from repro.workloads.zipf import ZipfGenerator, zipf_pmf
+
+__all__ = [
+    "EvolvingZipfStream",
+    "GraphDataset",
+    "NetworkModel",
+    "StreamSegment",
+    "TupleBatch",
+    "ZipfGenerator",
+    "hub_power_graph",
+    "paper_graph_suite",
+    "rmat_graph",
+    "zipf_pmf",
+]

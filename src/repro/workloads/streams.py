@@ -1,0 +1,57 @@
+"""Network arrival model for the online-processing experiment.
+
+Fig. 9 uses "the memory interface ... to simulate the 100 Gbps network
+interface": tuples arrive at line rate and the accelerator either keeps up
+(satiates the network) or falls behind.  :class:`NetworkModel` converts
+between the experiment's units — seconds of wall time, Gbps of line rate,
+and tuple counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A fixed-rate tuple source.
+
+    Parameters
+    ----------
+    line_rate_gbps:
+        Link speed in gigabits per second (100 in the paper).
+    tuple_bytes:
+        Wire size of one tuple (8 in the paper).
+    """
+
+    line_rate_gbps: float = 100.0
+    tuple_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.line_rate_gbps <= 0:
+            raise ValueError("line rate must be positive")
+        if self.tuple_bytes <= 0:
+            raise ValueError("tuple size must be positive")
+
+    @property
+    def tuples_per_second(self) -> float:
+        """Arrival rate in tuples/s (1.5625 G/s for 100 Gbps, 8 B)."""
+        return self.line_rate_gbps * 1e9 / (8 * self.tuple_bytes)
+
+    def tuples_in(self, seconds: float) -> int:
+        """Tuples arriving within ``seconds`` at line rate."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return int(self.tuples_per_second * seconds)
+
+    def seconds_for(self, tuples: int) -> float:
+        """Wall time needed to deliver ``tuples`` at line rate."""
+        if tuples < 0:
+            raise ValueError("tuples must be non-negative")
+        return tuples / self.tuples_per_second
+
+    def throughput_gbps(self, tuples: int, seconds: float) -> float:
+        """Achieved throughput in Gbps for ``tuples`` over ``seconds``."""
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        return tuples * self.tuple_bytes * 8 / seconds / 1e9

@@ -1,0 +1,92 @@
+"""Tuple batches — the unit of data every application consumes.
+
+The paper's datasets are streams of 8-byte tuples: a 4-byte key and a
+4-byte value (§VI-C1 "with 8-byte tuples, the system sets the number of
+PriPEs to 16").  A :class:`TupleBatch` stores a batch as a structure of
+numpy arrays so both the vectorised performance models and the per-cycle
+simulator (which indexes one tuple at a time) can share the storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TupleBatch:
+    """A batch of ``<key, value>`` tuples.
+
+    Attributes
+    ----------
+    keys:
+        uint64 array of keys (only the low 32 bits are meaningful for the
+        paper's 4-byte keys, but 64-bit storage keeps hashing exact).
+    values:
+        int64 array of payloads, same length as ``keys``.
+    tuple_bytes:
+        Wire size of one tuple; 8 throughout the paper's evaluation.
+    """
+
+    keys: np.ndarray
+    values: np.ndarray
+    tuple_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        self.keys = np.asarray(self.keys, dtype=np.uint64)
+        self.values = np.asarray(self.values, dtype=np.int64)
+        if self.keys.shape != self.values.shape:
+            raise ValueError("keys and values must have the same length")
+        if self.tuple_bytes <= 0:
+            raise ValueError("tuple_bytes must be positive")
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        """Iterate scalar ``(key, value)`` pairs (simulator order)."""
+        for key, value in zip(self.keys.tolist(), self.values.tolist()):
+            yield key, value
+
+    @property
+    def nbytes(self) -> int:
+        """Wire footprint of the batch."""
+        return len(self) * self.tuple_bytes
+
+    def slice(self, start: int, stop: int) -> "TupleBatch":
+        """A view-backed sub-batch ``[start:stop)``."""
+        return TupleBatch(
+            self.keys[start:stop], self.values[start:stop], self.tuple_bytes
+        )
+
+    def concat(self, other: "TupleBatch") -> "TupleBatch":
+        """Concatenate two batches (tuple sizes must match)."""
+        if self.tuple_bytes != other.tuple_bytes:
+            raise ValueError("cannot concat batches with different tuple sizes")
+        return TupleBatch(
+            np.concatenate([self.keys, other.keys]),
+            np.concatenate([self.values, other.values]),
+            self.tuple_bytes,
+        )
+
+    def sample(self, fraction: float, seed: int = 0) -> "TupleBatch":
+        """Uniform random sample of ``fraction`` of the batch.
+
+        This is the skew analyzer's input: the paper samples 0.1 % of the
+        dataset (256 x 100 points) on the CPU before selecting an
+        implementation (§VI-C1).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        count = max(1, int(round(len(self) * fraction)))
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(self), size=count, replace=False)
+        return TupleBatch(self.keys[idx], self.values[idx], self.tuple_bytes)
+
+    @staticmethod
+    def from_keys(keys: np.ndarray, tuple_bytes: int = 8) -> "TupleBatch":
+        """Batch with values equal to 1 (count-style applications)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        return TupleBatch(keys, np.ones(keys.shape, dtype=np.int64), tuple_bytes)

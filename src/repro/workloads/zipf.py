@@ -1,0 +1,118 @@
+"""Zipf-distributed tuple datasets.
+
+The paper profiles HISTO "with 26 million tuples (8-byte) under the Zipf
+distribution [13]" and sweeps the Zipf factor alpha from 0 (uniform) to 3
+(extreme skew, "almost all tuples go to the same PE").  Reference [13]
+is Balkesen et al.'s hash-join study, whose generator draws keys from a
+finite universe with rank-frequency ``P(rank i) ~ 1 / i**alpha``.
+
+Two details matter for reproducing Fig. 2a:
+
+* The *identity* of the hot keys is a function of the dataset seed — the
+  heatmap shows different PEs overloaded at different alpha because each
+  row is a fresh dataset.  We therefore map popularity ranks to key values
+  through a seeded pseudo-random permutation.
+* alpha = 0 degenerates to the uniform distribution, which the paper uses
+  as the normalisation row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.tuples import TupleBatch
+
+
+def zipf_pmf(universe: int, alpha: float) -> np.ndarray:
+    """Probability mass of each popularity rank 1..``universe``.
+
+    ``alpha = 0`` gives the uniform distribution.
+    """
+    if universe <= 0:
+        raise ValueError("universe must be positive")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    return weights / weights.sum()
+
+
+@dataclass
+class ZipfGenerator:
+    """Generates Zipf(alpha) tuple batches over a key universe.
+
+    Parameters
+    ----------
+    alpha:
+        Zipf skew factor (0 = uniform ... 3 = extreme, the paper's range).
+    universe:
+        Number of distinct keys.  2**20 keeps the rank table small while
+        being far larger than the PE count, like the paper's datasets.
+    seed:
+        Dataset seed.  Controls both which concrete key each popularity
+        rank maps to and the sampling noise — "we ... vary the seeds of
+        the dataset generator for generating different workload
+        distributions" (§VI-D).
+    tuple_bytes:
+        Wire size per tuple (8 throughout the paper).
+    """
+
+    alpha: float
+    universe: int = 1 << 20
+    seed: int = 42
+    tuple_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.universe <= 1:
+            raise ValueError("universe must be > 1")
+        self._rng = np.random.default_rng(self.seed)
+        self._pmf = zipf_pmf(self.universe, self.alpha)
+        self._cdf = np.cumsum(self._pmf)
+        self._cdf[-1] = 1.0  # guard against float round-off
+        # Rank -> key value mapping: an affine permutation of the universe
+        # with a random odd multiplier, so the hot ranks land on
+        # seed-dependent keys without materialising a full permutation.
+        mult = int(self._rng.integers(1, self.universe // 2)) * 2 + 1
+        offset = int(self._rng.integers(0, self.universe))
+        self._mult = mult
+        self._offset = offset
+
+    def rank_to_key(self, ranks: np.ndarray) -> np.ndarray:
+        """Map popularity ranks (0-based) to concrete key values."""
+        ranks = np.asarray(ranks, dtype=np.uint64)
+        mult = np.uint64(self._mult)
+        offset = np.uint64(self._offset)
+        size = np.uint64(self.universe)
+        with np.errstate(over="ignore"):
+            return (ranks * mult + offset) % size
+
+    def generate(self, count: int) -> TupleBatch:
+        """Draw ``count`` tuples; values are drawn uniformly (payload)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        u = self._rng.random(count)
+        ranks = np.searchsorted(self._cdf, u, side="left")
+        keys = self.rank_to_key(ranks)
+        values = self._rng.integers(
+            0, 1 << 31, size=count, dtype=np.int64
+        )
+        return TupleBatch(keys, values, self.tuple_bytes)
+
+    def expected_shares(self, route: "np.ufunc | None" = None,
+                        destinations: int = 16) -> np.ndarray:
+        """Expected fraction of tuples per destination PE.
+
+        ``route`` maps a key array to destination IDs; the default is the
+        paper's HISTO routing rule, the low ``log2(destinations)`` bits of
+        the key.  Used by the analytic throughput model.
+        """
+        keys = self.rank_to_key(np.arange(self.universe))
+        if route is None:
+            dst = (keys % np.uint64(destinations)).astype(np.int64)
+        else:
+            dst = np.asarray(route(keys), dtype=np.int64)
+        shares = np.zeros(destinations, dtype=np.float64)
+        np.add.at(shares, dst, self._pmf)
+        return shares

@@ -1,0 +1,78 @@
+"""Histogram kernel: binning, partitioned layout, golden equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.histo import HistogramKernel, golden_histogram
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HistogramKernel(bins=0)
+    with pytest.raises(ValueError):
+        HistogramKernel(bins=100, pripes=16)    # not a multiple
+
+
+def test_route_is_bin_low_bits():
+    kernel = HistogramKernel(bins=64, pripes=16)
+    for key in range(200):
+        assert kernel.route(key) == kernel.bin_of(key) % 16
+
+
+def test_unhashed_mode_uses_raw_key():
+    kernel = HistogramKernel(bins=64, pripes=16, hashed=False)
+    assert kernel.bin_of(65) == 1
+    assert kernel.route(65) == 1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                min_size=1, max_size=300))
+def test_property_pipeline_matches_golden(keys):
+    """route/process/collect over per-PE buffers == vectorised golden."""
+    kernel = HistogramKernel(bins=128, pripes=16)
+    arr = np.array(keys, dtype=np.uint64)
+    buffers = [kernel.make_buffer() for _ in range(16)]
+    for key in keys:
+        kernel.process(buffers[kernel.route(key)], key, 1)
+    collected = kernel.collect(buffers)
+    assert np.array_equal(collected,
+                          kernel.golden(arr, np.ones(len(keys))))
+
+
+def test_collect_deinterleaves_pe_slices():
+    kernel = HistogramKernel(bins=32, pripes=16)
+    buffers = [kernel.make_buffer() for _ in range(16)]
+    buffers[3][1] = 7          # PE 3, local slot 1 -> global bin 3+16
+    hist = kernel.collect(buffers)
+    assert hist[3 + 16] == 7
+    assert hist.sum() == 7
+
+
+def test_merge_into_adds():
+    kernel = HistogramKernel(bins=32, pripes=16)
+    a = kernel.make_buffer()
+    b = kernel.make_buffer()
+    a[0] = 2
+    b[0] = 3
+    kernel.merge_into(a, b)
+    assert a[0] == 5
+
+
+def test_histogram_conserves_count():
+    keys = np.arange(5000, dtype=np.uint64)
+    hist = golden_histogram(keys, bins=256)
+    assert hist.sum() == 5000
+
+
+def test_route_array_matches_scalar():
+    kernel = HistogramKernel(bins=256, pripes=16)
+    keys = np.arange(1000, dtype=np.uint64)
+    vec = kernel.route_array(keys)
+    assert all(int(vec[i]) == kernel.route(i) for i in range(1000))
+
+
+def test_resource_profile_buffer_scales_with_bins():
+    small = HistogramKernel(bins=256, pripes=16).resource_profile()
+    large = HistogramKernel(bins=4096, pripes=16).resource_profile()
+    assert large.buffer_bits_per_pe == 16 * small.buffer_bits_per_pe

@@ -1,0 +1,114 @@
+"""HyperLogLog: register mechanics, merge semantics, estimation accuracy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.hyperloglog import (
+    HyperLogLogKernel,
+    golden_hll_estimate,
+    hll_estimate_from_registers,
+)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HyperLogLogKernel(precision=2)
+    with pytest.raises(ValueError):
+        HyperLogLogKernel(precision=20)
+    with pytest.raises(ValueError):
+        hll_estimate_from_registers(np.zeros(0))
+
+
+class TestRegisterMechanics:
+    def test_register_and_rho_ranges(self):
+        kernel = HyperLogLogKernel(precision=10)
+        for key in [0, 1, 12345, (1 << 63) + 17]:
+            index, rho = kernel.register_and_rho(key)
+            assert 0 <= index < 1024
+            assert 1 <= rho <= 64 - 10 + 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+                    min_size=1, max_size=200))
+    def test_property_vectorised_matches_scalar(self, keys):
+        kernel = HyperLogLogKernel(precision=8)
+        arr = np.array(keys, dtype=np.uint64)
+        idx, rho = kernel._register_and_rho_arrays(arr)
+        for i, key in enumerate(keys):
+            s_idx, s_rho = kernel.register_and_rho(key)
+            assert s_idx == int(idx[i])
+            assert s_rho == int(rho[i])
+
+    def test_process_takes_max(self):
+        kernel = HyperLogLogKernel(precision=8, pripes=16)
+        buffer = kernel.make_buffer()
+        key = 42
+        index, rho = kernel.register_and_rho(key)
+        buffer[index // 16] = rho + 5
+        kernel.process(buffer, key, 0)
+        assert buffer[index // 16] == rho + 5   # not overwritten downward
+
+    def test_merge_is_elementwise_max(self):
+        kernel = HyperLogLogKernel(precision=8)
+        a = kernel.make_buffer()
+        b = kernel.make_buffer()
+        a[0], b[0] = 3, 7
+        a[1], b[1] = 9, 2
+        kernel.merge_into(a, b)
+        assert a[0] == 7 and a[1] == 9
+
+    def test_collect_reassembles_register_file(self):
+        kernel = HyperLogLogKernel(precision=8, pripes=16)
+        buffers = [kernel.make_buffer() for _ in range(16)]
+        buffers[5][2] = 11          # register 5 + 2*16 = 37
+        registers = kernel.collect(buffers)
+        assert registers[37] == 11
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("true_n", [1_000, 20_000, 100_000])
+    def test_estimate_within_standard_error(self, true_n):
+        """HLL error ~ 1.04/sqrt(m); with p=12 (m=4096) that is 1.6 %.
+        Allow 4 standard errors."""
+        rng = np.random.default_rng(true_n)
+        keys = rng.choice(np.arange(true_n * 10, dtype=np.uint64),
+                          size=true_n, replace=False)
+        estimate = golden_hll_estimate(keys, precision=12)
+        tolerance = 4 * 1.04 / np.sqrt(4096)
+        assert abs(estimate - true_n) / true_n < tolerance
+
+    def test_duplicates_do_not_inflate(self):
+        keys = np.array([7] * 10_000, dtype=np.uint64)
+        estimate = golden_hll_estimate(keys, precision=10)
+        assert estimate < 3.0
+
+    def test_small_range_linear_counting(self):
+        keys = np.arange(5, dtype=np.uint64)
+        estimate = golden_hll_estimate(keys, precision=12)
+        assert abs(estimate - 5) < 1.0
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=50, max_value=5_000))
+    def test_property_estimate_scales_with_cardinality(self, n):
+        keys = np.arange(n, dtype=np.uint64) * np.uint64(2654435761)
+        estimate = golden_hll_estimate(keys, precision=12)
+        assert 0.7 * n < estimate < 1.3 * n
+
+    def test_merge_order_invariance(self):
+        """max-merging partial register files commutes — SecPE merging
+        cannot change the estimate."""
+        kernel = HyperLogLogKernel(precision=10, pripes=16)
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 1 << 40, size=20_000, dtype=np.uint64)
+        golden = kernel.golden(keys, np.zeros(len(keys)))
+        # Split the stream arbitrarily into "PriPE" and "SecPE" halves.
+        part_a = kernel.golden(keys[:10_000], np.zeros(10_000))
+        part_b = kernel.golden(keys[10_000:], np.zeros(10_000))
+        merged = np.maximum(part_a, part_b)
+        assert np.array_equal(merged, golden)
+
+
+def test_resource_profile_is_hll_shaped():
+    profile = HyperLogLogKernel(precision=14, pripes=16).resource_profile()
+    assert profile.name == "hll"
+    assert profile.buffer_bits_per_pe == (1 << 14) // 16 * 6

@@ -1,0 +1,64 @@
+"""Data partitioning: radix correctness, non-decomposability, collect."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.partition import PartitionKernel, golden_partition
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PartitionKernel(radix_bits_count=0)
+    with pytest.raises(ValueError):
+        PartitionKernel(radix_bits_count=2, pripes=16)   # fanout < PEs
+
+
+def test_marked_non_decomposable():
+    assert PartitionKernel(radix_bits_count=8).decomposable is False
+
+
+def test_partition_and_route_relationship():
+    kernel = PartitionKernel(radix_bits_count=8, pripes=16)
+    for key in range(512):
+        assert kernel.route(key) == kernel.partition_of(key) % 16
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                min_size=1, max_size=400))
+def test_property_partitions_are_a_partition(keys):
+    """Every key lands in exactly one partition; nothing lost."""
+    result = golden_partition(np.array(keys, dtype=np.uint64),
+                              radix_bits_count=6)
+    flat = [k for chunk in result.values() for k in chunk]
+    assert sorted(flat) == sorted(keys)
+    for part, chunk in result.items():
+        assert all(k & 0x3F == part for k in chunk)
+
+
+def test_collect_unions_pe_output_spaces():
+    """SecPE chunks concatenate with PriPE chunks per partition —
+    'output results to their own memory space'."""
+    kernel = PartitionKernel(radix_bits_count=6, pripes=16)
+    pri = {5: [100, 200]}
+    sec = {5: [300], 9: [400]}
+    result = kernel.collect([pri, sec])
+    assert sorted(result[5]) == [100, 200, 300]
+    assert result[9] == [400]
+
+
+def test_process_buckets_by_partition():
+    kernel = PartitionKernel(radix_bits_count=6, pripes=16)
+    buffer = kernel.make_buffer()
+    kernel.process(buffer, 0b101010, 0)
+    kernel.process(buffer, 0b101010 | (1 << 20), 0)   # same low bits
+    assert list(buffer) == [0b101010]
+    assert len(buffer[0b101010]) == 2
+
+
+def test_golden_groups_match_manual():
+    keys = np.array([0, 1, 64, 65, 2], dtype=np.uint64)
+    result = golden_partition(keys, radix_bits_count=6)
+    assert sorted(result[0]) == [0, 64]
+    assert sorted(result[1]) == [1, 65]
+    assert result[2] == [2]

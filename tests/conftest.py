@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.histo import HistogramKernel
+from repro.core.config import ArchitectureConfig
+from repro.workloads.tuples import TupleBatch
+from repro.workloads.zipf import ZipfGenerator
+
+
+@pytest.fixture
+def uniform_batch() -> TupleBatch:
+    """10k uniformly distributed tuples."""
+    return ZipfGenerator(alpha=0.0, seed=101).generate(10_000)
+
+
+@pytest.fixture
+def skewed_batch() -> TupleBatch:
+    """10k extremely skewed tuples (Zipf alpha = 3)."""
+    return ZipfGenerator(alpha=3.0, seed=101).generate(10_000)
+
+
+@pytest.fixture
+def small_config() -> ArchitectureConfig:
+    """The paper's default shape without rescheduling."""
+    return ArchitectureConfig(lanes=8, pripes=16, secpes=0,
+                              reschedule_threshold=0.0)
+
+
+@pytest.fixture
+def histo_kernel() -> HistogramKernel:
+    """A 512-bin histogram kernel on 16 PEs."""
+    return HistogramKernel(bins=512, pripes=16)
+
+
+def make_batch(keys) -> TupleBatch:
+    """Batch from explicit keys with value = 1 (helper for direct use)."""
+    return TupleBatch.from_keys(np.asarray(keys, dtype=np.uint64))

@@ -1,0 +1,58 @@
+"""Host controller: the dequeue/re-enqueue state machine."""
+
+from repro.apps.histo import HistogramKernel
+from repro.core.host import HostController
+from repro.core.merger import MERGED
+from repro.core.pe import ProcessingElement
+from repro.core.profiler import RESCHEDULE, RuntimeProfiler
+from repro.sim.channel import Channel
+
+
+def build(delay=4):
+    kernel = HistogramKernel(bins=64, pripes=4)
+    stats = [Channel("s0", capacity=8)]
+    plans = [Channel("p0", capacity=8)]
+    profiler = RuntimeProfiler(
+        "prof", 4, 1, stats, plans, Channel("m", capacity=8),
+        Channel("h", capacity=8), profiling_cycles=2,
+    )
+    secpe = ProcessingElement("sec", 4, kernel, Channel("sc", capacity=8),
+                              is_secondary=True)
+    prof_ch = Channel("prof_ctl", capacity=8)
+    merge_ch = Channel("merge_ctl", capacity=8)
+    host = HostController("host", profiler, [secpe], prof_ch, merge_ch,
+                          reenqueue_delay_cycles=delay)
+    return host, profiler, secpe, prof_ch, merge_ch
+
+
+def test_idle_until_reschedule_request():
+    host, profiler, secpe, prof_ch, merge_ch = build()
+    host.tick(0)
+    assert host.idle_cycles == 1
+    assert host.reenqueues == 0
+
+def test_full_reschedule_round(monkeypatch=None):
+    host, profiler, secpe, prof_ch, merge_ch = build(delay=3)
+    profiler.finish()                       # as it would after triggering
+    secpe.buffer[:] = 7
+    prof_ch.write(RESCHEDULE)
+    prof_ch.commit()
+    host.tick(0)                            # -> WAIT_MERGE
+    merge_ch.write(MERGED)
+    merge_ch.commit()
+    host.tick(1)                            # -> DELAY(3)
+    for cycle in range(2, 5):
+        assert host.reenqueues == 0
+        host.tick(cycle)
+    host.tick(5)
+    assert host.reenqueues == 1
+    assert not profiler.done                # restarted
+    assert secpe.buffer.sum() == 0          # fresh buffer
+
+def test_finishes_after_profiler_done_and_channel_exhausted():
+    host, profiler, secpe, prof_ch, merge_ch = build()
+    profiler.finish()
+    prof_ch.close()
+    prof_ch.commit()
+    host.tick(0)
+    assert host.done

@@ -1,0 +1,58 @@
+"""KernelSpec contract: defaults, fallbacks and the golden pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import KernelSpec
+
+
+class MiniKernel(KernelSpec):
+    """Counts keys per PE — smallest possible decomposable kernel."""
+
+    def __init__(self, pripes=4):
+        self.pripes = pripes
+
+    def route(self, key):
+        return key % self.pripes
+
+    def make_buffer(self):
+        return [0]
+
+    def process(self, buffer, key, value):
+        buffer[0] += value
+
+    def merge_into(self, primary, secondary):
+        primary[0] += secondary[0]
+
+
+class NoMergeKernel(MiniKernel):
+    """Decomposable kernel that forgot to implement merge_into."""
+
+    def merge_into(self, primary, secondary):
+        return KernelSpec.merge_into(self, primary, secondary)
+
+
+def test_route_array_default_falls_back_to_scalar():
+    kernel = MiniKernel()
+    keys = np.array([0, 1, 5, 7], dtype=np.uint64)
+    assert list(kernel.route_array(keys)) == [0, 1, 1, 3]
+
+def test_prepare_value_default_is_identity():
+    assert MiniKernel().prepare_value(3, 42) == 42
+
+def test_default_golden_runs_route_process_collect():
+    kernel = MiniKernel()
+    keys = np.arange(8, dtype=np.uint64)
+    values = np.ones(8, dtype=np.int64)
+    result = kernel.golden(keys, values)
+    assert [b[0] for b in result] == [2, 2, 2, 2]
+
+def test_missing_merge_into_is_loud():
+    kernel = NoMergeKernel()
+    with pytest.raises(NotImplementedError, match="merge_into"):
+        kernel.merge_into([0], [1])
+
+def test_collect_default_passthrough():
+    kernel = MiniKernel()
+    buffers = [[1], [2]]
+    assert kernel.collect(buffers) is buffers

@@ -1,0 +1,100 @@
+"""Merger: plan-directed folding of SecPE partials into PriPE buffers."""
+
+import numpy as np
+
+from repro.apps.histo import HistogramKernel
+from repro.core.mapper import DETACH
+from repro.core.merger import MERGED, Merger
+from repro.core.pe import ProcessingElement
+from repro.core.profiler import SchedulingPlan
+from repro.sim.channel import Channel
+
+
+def build(pripes=2, secpes=1, bins=32):
+    kernel = HistogramKernel(bins=bins, pripes=pripes)
+    pri = [
+        ProcessingElement(f"p{j}", j, kernel, Channel(f"pc{j}", capacity=8))
+        for j in range(pripes)
+    ]
+    sec = [
+        ProcessingElement(f"s{j}", pripes + j, kernel,
+                          Channel(f"sc{j}", capacity=8), is_secondary=True)
+        for j in range(secpes)
+    ]
+    plan_ch = Channel("plan", capacity=8)
+    host_ch = Channel("host", capacity=8)
+    merger = Merger("merge", kernel, pri, sec, plan_ch, host_ch)
+    return kernel, pri, sec, plan_ch, host_ch, merger
+
+
+def test_final_merge_folds_secpe_into_assigned_pripe():
+    kernel, pri, sec, plan_ch, host_ch, merger = build()
+    pri[0].buffer[:] = 1
+    sec[0].buffer[:] = 2
+    plan_ch.write(SchedulingPlan(pairs=[(2, 0)]))
+    plan_ch.commit()
+    merger.tick(0)                      # receives plan; PEs not done yet
+    for pe in pri + sec:
+        pe.finish()
+    merger.tick(1)
+    assert merger.done
+    assert merger.final_merge_done
+    assert np.all(pri[0].buffer == 3)
+    assert np.all(pri[1].buffer == 0)
+
+def test_mid_run_merge_waits_for_secpe_drain():
+    kernel, pri, sec, plan_ch, host_ch, merger = build()
+    sec[0].buffer[:] = 5
+    plan_ch.write(SchedulingPlan(pairs=[(2, 1)]))
+    plan_ch.commit()
+    merger.tick(0)
+    # Put an in-flight tuple in the SecPE's channel, then detach.
+    sec[0].input_channel.write((2, 0, 1))
+    sec[0].input_channel.commit()
+    plan_ch.write(DETACH)
+    plan_ch.commit()
+    merger.tick(1)
+    assert merger.merges_performed == 0       # still draining
+    sec[0].input_channel.read()               # SecPE consumes it
+    merger.tick(2)
+    assert merger.merges_performed == 1
+    host_ch.commit()
+    assert MERGED in list(host_ch)
+    assert np.all(pri[1].buffer == 5)
+    assert np.all(sec[0].buffer == 0)          # reset after merge
+
+def test_merge_log_records_plans():
+    kernel, pri, sec, plan_ch, host_ch, merger = build()
+    plan = SchedulingPlan(pairs=[(2, 0)])
+    plan_ch.write(plan)
+    plan_ch.commit()
+    merger.tick(0)
+    for pe in pri + sec:
+        pe.finish()
+    merger.tick(1)
+    assert merger.merge_log == [plan]
+
+def test_unassigned_secpe_not_merged():
+    kernel, pri, sec, plan_ch, host_ch, merger = build(secpes=1)
+    sec[0].buffer[:] = 9
+    plan_ch.write(SchedulingPlan(pairs=[]))    # nobody assigned
+    plan_ch.commit()
+    merger.tick(0)
+    for pe in pri + sec:
+        pe.finish()
+    merger.tick(1)
+    assert np.all(pri[0].buffer == 0)
+    assert np.all(pri[1].buffer == 0)
+
+def test_non_decomposable_kernel_skips_arithmetic_merge():
+    kernel, pri, sec, plan_ch, host_ch, merger = build()
+    kernel.decomposable = False
+    sec[0].buffer[:] = 7
+    plan_ch.write(SchedulingPlan(pairs=[(2, 0)]))
+    plan_ch.commit()
+    merger.tick(0)
+    for pe in pri + sec:
+        pe.finish()
+    merger.tick(1)
+    assert np.all(pri[0].buffer == 0)          # untouched
+    assert merger.merge_log                    # but plan still recorded

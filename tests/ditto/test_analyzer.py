@@ -1,0 +1,87 @@
+"""Skew analyzer: Eq. 2 anchor cases and sampling behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.apps.histo import HistogramKernel
+from repro.ditto.analyzer import SkewAnalyzer, eq2_required_secpes
+from repro.workloads.zipf import ZipfGenerator
+
+
+class TestEq2:
+    def test_uniform_needs_zero(self):
+        """Every ratio ~1 -> each term ceils to 1 -> X = 0."""
+        workloads = np.full(16, 1000.0)
+        assert eq2_required_secpes(workloads, noise_sigmas=0.0) == 0
+
+    def test_all_on_one_pe_needs_m_minus_1(self):
+        """The §V-C worst case: X = M - 1."""
+        workloads = np.zeros(16)
+        workloads[3] = 10_000
+        assert eq2_required_secpes(workloads, noise_sigmas=0.0) == 15
+
+    def test_double_load_needs_one(self):
+        """A PE at 2x the average needs one SecPE."""
+        workloads = np.full(16, 1000.0)
+        workloads[0] = 2 * (workloads.sum() - 1000) / 14  # keep it simple:
+        workloads = np.full(16, 1000.0)
+        workloads[0] = 2142.0   # ratio ~2.0 of the new mean
+        x = eq2_required_secpes(workloads, noise_sigmas=0.0)
+        assert x == 1
+
+    def test_requirement_clamped_to_m_minus_1(self):
+        workloads = np.zeros(8)
+        workloads[0] = 1.0
+        assert eq2_required_secpes(workloads, noise_sigmas=0.0) == 7
+
+    def test_zero_total_needs_zero(self):
+        assert eq2_required_secpes(np.zeros(16)) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            eq2_required_secpes(np.zeros(0))
+
+    def test_noise_guard_absorbs_sampling_noise(self):
+        """A noisy uniform sample must not demand SecPEs (the paper's
+        Fig. 7 ticks choose 16P at alpha = 0)."""
+        rng = np.random.default_rng(0)
+        sample = rng.integers(0, 16, size=25_600)
+        workloads = np.bincount(sample, minlength=16).astype(float)
+        assert eq2_required_secpes(workloads, noise_sigmas=2.0) == 0
+        # Verbatim formula (no guard) over-demands — documenting why the
+        # guard exists.
+        assert eq2_required_secpes(workloads, noise_sigmas=0.0) > 0
+
+
+class TestAnalyzer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SkewAnalyzer(sample_fraction=0.0)
+        with pytest.raises(ValueError):
+            SkewAnalyzer(tolerance=-0.1)
+
+    def test_sample_fraction_is_respected(self):
+        batch = ZipfGenerator(alpha=0.0, seed=1).generate(100_000)
+        analyzer = SkewAnalyzer(sample_fraction=0.001)
+        report = analyzer.analyze(batch, HistogramKernel(bins=512, pripes=16))
+        assert report.sample_size == 100
+
+    def test_requirement_grows_with_skew(self):
+        kernel = HistogramKernel(bins=512, pripes=16)
+        analyzer = SkewAnalyzer(sample_fraction=0.01)
+        requirements = []
+        for alpha in [0.0, 1.0, 2.0, 3.0]:
+            batch = ZipfGenerator(alpha=alpha, seed=2).generate(100_000)
+            requirements.append(
+                analyzer.analyze(batch, kernel).required_secpes
+            )
+        assert requirements[0] == 0
+        assert requirements == sorted(requirements)
+        assert requirements[-1] >= 10
+
+    def test_report_shares_sum_to_one(self):
+        batch = ZipfGenerator(alpha=1.0, seed=3).generate(50_000)
+        analyzer = SkewAnalyzer(sample_fraction=0.01)
+        report = analyzer.analyze(batch, HistogramKernel(bins=512, pripes=16))
+        assert report.shares.sum() == pytest.approx(1.0)
+        assert 0.0 < report.max_share <= 1.0

@@ -1,0 +1,143 @@
+"""OpenCL code generation: structure of the emitted source set."""
+
+import re
+
+import pytest
+
+from repro.core.config import ArchitectureConfig
+from repro.ditto.codegen import (
+    GeneratedSource,
+    OpenCLGenerator,
+    generate_implementation_set,
+)
+from repro.ditto.spec import histogram_spec
+
+
+@pytest.fixture
+def generator():
+    return OpenCLGenerator()
+
+
+@pytest.fixture
+def source(generator):
+    return generator.generate(
+        histogram_spec(), ArchitectureConfig(secpes=4))
+
+
+class TestStructure:
+    def test_file_set_with_skew_handling(self, source):
+        assert set(source.files) == {
+            "common.h", "prepe.cl", "mapper.cl", "routing.cl", "pe.cl",
+            "profiler.cl", "merger.cl",
+        }
+
+    def test_file_set_without_skew_handling(self, generator):
+        src = generator.generate(histogram_spec(),
+                                 ArchitectureConfig(secpes=0))
+        assert "mapper.cl" not in src.files
+        assert "profiler.cl" not in src.files
+        assert "merger.cl" not in src.files
+
+    def test_kernel_count_matches_architecture(self, source):
+        # 8 PrePEs + 8 mappers + 1 combiner + 20 filters + 20 PEs
+        # + profiler + merger = 58.
+        assert source.kernel_count == 8 + 8 + 1 + 20 + 20 + 1 + 1
+
+    def test_channel_topology_declared(self, source):
+        header = source.files["common.h"]
+        assert "channel tuple_t  lane_ch[8]" in header
+        assert "channel group_t  group_ch[20]" in header
+        assert "cl_intel_channels" in header
+
+    def test_channel_depths_follow_config(self, generator):
+        cfg = ArchitectureConfig(secpes=2, channel_depth=256,
+                                 group_channel_depth=32)
+        src = generator.generate(histogram_spec(), cfg)
+        header = src.files["common.h"]
+        assert "depth(256)" in header
+        assert "depth(32)" in header
+
+    def test_autorun_pipeline_kernels(self, source):
+        for name in ["prepe.cl", "mapper.cl", "routing.cl", "pe.cl"]:
+            assert "__attribute__((autorun))" in source.files[name]
+        # Profiler is host-enqueued (re-enqueued on reschedule), so it
+        # must NOT be autorun.
+        assert "autorun" not in source.files["profiler.cl"]
+
+    def test_mapper_encodes_fig4_mechanics(self, source):
+        mapper = source.files["mapper.cl"]
+        assert "uchar table[16][5]" in mapper     # M x (X+1) for X=4
+        assert "counter[pripe]++" in mapper
+        assert "rr[row] % counter[row]" in mapper # round-robin boundary
+        assert "0xff" in mapper                   # DETACH encoding
+
+    def test_profiler_emits_greedy_plan(self, source):
+        profiler = source.files["profiler.cl"]
+        assert "merged[p] / (1 + attached[p])" in profiler
+        assert "return;" in profiler              # exits itself
+        assert "host_ctl_ch" in profiler
+
+    def test_pe_kinds_labelled(self, source):
+        pe = source.files["pe.cl"]
+        assert pe.count("PriPE #") == 16
+        assert pe.count("SecPE #") == 4
+
+    def test_route_expression_inlined(self, source):
+        assert "t.key & 0xf" in source.files["prepe.cl"]
+
+
+class TestPerAppHints:
+    """Each spec carries its own Listing-2 bodies for the generator."""
+
+    @pytest.mark.parametrize("spec_name,fragment", [
+        ("histogram_spec", "hist[HASH(r.key) >> LOG2_M]++"),
+        ("partition_spec", "flush(RADIX(r.key))"),
+        ("hyperloglog_spec", "clz(MURMUR3(r.key)"),
+        ("heavy_hitter_spec", "CMS_HASH(d, r.key)"),
+    ])
+    def test_app_bodies_inlined(self, spec_name, fragment):
+        from repro.ditto import spec as spec_module
+        spec = getattr(spec_module, spec_name)()
+        gen = OpenCLGenerator.from_spec(spec)
+        src = gen.generate(spec, ArchitectureConfig(secpes=1))
+        assert fragment in src.files["pe.cl"]
+
+    def test_pagerank_prepare_value_reads_contributions(self):
+        from repro.ditto.spec import pagerank_spec
+        spec = pagerank_spec(1024)
+        src = OpenCLGenerator.from_spec(spec).generate(
+            spec, ArchitectureConfig(secpes=0))
+        assert "contrib[t.value]" in src.files["prepe.cl"]
+
+    def test_set_generation_uses_spec_hints(self):
+        sources = generate_implementation_set(
+            histogram_spec(), [ArchitectureConfig(secpes=0)])
+        assert "HASH(t.key) & 0xf" in sources[0].files["prepe.cl"]
+
+
+class TestImplementationSet:
+    def test_one_source_per_config(self):
+        base = ArchitectureConfig()
+        configs = [base.with_secpes(x) for x in [0, 1, 2, 4, 8, 15]]
+        sources = generate_implementation_set(histogram_spec(), configs)
+        assert [s.label for s in sources] == [
+            "16P", "16P+1S", "16P+2S", "16P+4S", "16P+8S", "16P+15S"]
+
+    def test_kernel_count_scales_with_secpes(self):
+        base = ArchitectureConfig()
+        small = OpenCLGenerator().generate(histogram_spec(),
+                                           base.with_secpes(1))
+        large = OpenCLGenerator().generate(histogram_spec(),
+                                           base.with_secpes(15))
+        assert large.kernel_count == small.kernel_count + 2 * 14
+
+    def test_full_text_is_balanced(self, source):
+        """Sanity: braces balance in every generated file (catches
+        template formatting regressions)."""
+        for name, text in source.files.items():
+            assert text.count("{") == text.count("}"), name
+
+    def test_no_unexpanded_placeholders(self, source):
+        for name, text in source.files.items():
+            leftovers = re.findall(r"\{[a-z_]+\}", text)
+            assert not leftovers, (name, leftovers)

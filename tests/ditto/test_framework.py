@@ -1,0 +1,69 @@
+"""End-to-end Ditto framework runs."""
+
+import numpy as np
+import pytest
+
+from repro.ditto.framework import DittoFramework
+from repro.ditto.spec import (
+    heavy_hitter_spec,
+    histogram_spec,
+    hyperloglog_spec,
+    pagerank_spec,
+    partition_spec,
+)
+from repro.workloads.zipf import ZipfGenerator
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return DittoFramework(histogram_spec(bins=512),
+                          secpe_counts=[0, 1, 2, 4, 8, 15])
+
+
+class TestSpecs:
+    def test_all_five_specs_build_kernels(self):
+        for spec in [histogram_spec(), partition_spec(),
+                     pagerank_spec(100), hyperloglog_spec(),
+                     heavy_hitter_spec()]:
+            kernel = spec.kernel_factory(16)
+            assert kernel.pripes == 16
+
+    def test_spec_lines_match_paper_productivity_claims(self):
+        assert histogram_spec().spec_lines == 6     # vs ~200 in [12]
+        assert pagerank_spec(10).spec_lines == 22   # vs ~800 in [8]
+
+
+class TestSelection:
+    def test_uniform_selects_16p(self, framework):
+        batch = ZipfGenerator(alpha=0.0, seed=1).generate(100_000)
+        run = framework.choose_offline(batch)
+        assert run.implementation.label == "16P"
+
+    def test_extreme_skew_selects_15s(self, framework):
+        batch = ZipfGenerator(alpha=3.0, seed=1).generate(100_000)
+        run = framework.choose_offline(batch)
+        assert run.implementation.label == "16P+15S"
+
+    def test_online_selects_max(self, framework):
+        assert framework.choose_online().implementation.label == "16P+15S"
+
+
+class TestExecution:
+    def test_executed_run_is_correct_and_reports_throughput(self, framework):
+        batch = ZipfGenerator(alpha=2.0, seed=7).generate(15_000)
+        run = framework.run_offline(batch, execute=True)
+        golden = framework.kernel.golden(batch.keys, batch.values)
+        assert np.array_equal(run.outcome.result, golden)
+        assert run.throughput_mtps() > 0
+
+    def test_modelled_run_reports_throughput(self, framework):
+        batch = ZipfGenerator(alpha=2.0, seed=7).generate(50_000)
+        run = framework.run_offline(batch, execute=False)
+        assert run.outcome is None
+        assert run.modelled is not None
+        assert run.throughput_mtps() > 0
+
+    def test_run_without_execution_raises_on_throughput(self, framework):
+        run = framework.choose_online()
+        with pytest.raises(ValueError):
+            run.throughput_mtps()

@@ -1,0 +1,70 @@
+"""System generation: Eq. 1 tuning and the implementation set."""
+
+import pytest
+
+from repro.ditto.generator import SystemGenerator, tune_pe_counts
+from repro.ditto.spec import histogram_spec, hyperloglog_spec
+
+
+class TestEq1:
+    def test_papers_parameters_give_8_lanes_16_pripes(self):
+        """512-bit interface, 8-byte tuples, II_PrePE=1, II_PE=2:
+        N = 8 and M = 16 (§VI-C1)."""
+        cfg = tune_pe_counts(histogram_spec())
+        assert cfg.lanes == 8
+        assert cfg.pripes == 16
+        assert cfg.balanced_for_bandwidth()
+
+    def test_wider_tuples_scale_down(self):
+        spec = histogram_spec()
+        wide = type(spec)(**{**spec.__dict__, "tuple_bytes": 16})
+        cfg = tune_pe_counts(wide)
+        assert cfg.lanes == 4
+        assert cfg.pripes == 8
+
+    def test_ii1_pe_halves_pripes(self):
+        spec = histogram_spec()
+        fast_pe = type(spec)(**{**spec.__dict__, "ii_pe": 1})
+        cfg = tune_pe_counts(fast_pe)
+        assert cfg.pripes == 8              # N * II_PE / II_PrePE
+
+
+class TestImplementationSet:
+    def test_full_range_by_default(self):
+        gen = SystemGenerator()
+        impls = gen.generate(hyperloglog_spec())
+        assert len(impls) == 16
+        assert [im.config.secpes for im in impls] == list(range(16))
+
+    def test_custom_subset(self):
+        gen = SystemGenerator()
+        impls = gen.generate(hyperloglog_spec(), secpe_counts=[0, 1, 2, 4, 8, 15])
+        assert [im.label for im in impls] == [
+            "16P", "16P+1S", "16P+2S", "16P+4S", "16P+8S", "16P+15S"
+        ]
+
+    def test_measured_builds_used_for_table3_configs(self):
+        gen = SystemGenerator(use_measured_builds=True)
+        impls = gen.generate(hyperloglog_spec(), secpe_counts=[0, 15])
+        assert impls[0].resources.measured
+        assert impls[0].frequency_mhz == 246.0
+        assert impls[1].frequency_mhz == 188.0
+
+    def test_structural_mode_never_measured(self):
+        gen = SystemGenerator(use_measured_builds=False)
+        impls = gen.generate(hyperloglog_spec(), secpe_counts=[0, 15])
+        assert not any(im.resources.measured for im in impls)
+
+    def test_bram_monotone_and_capacity_decreasing(self):
+        gen = SystemGenerator(use_measured_builds=False)
+        impls = gen.generate(hyperloglog_spec())
+        rams = [im.resources.ram_blocks for im in impls]
+        caps = [im.distinct_capacity_fraction for im in impls]
+        assert rams == sorted(rams)
+        assert caps == sorted(caps, reverse=True)
+        assert caps[-1] > 0.5               # §V-C guarantee
+
+    def test_kernel_built_with_tuned_pripes(self):
+        gen = SystemGenerator()
+        kernel = gen.build_kernel(histogram_spec(bins=512))
+        assert kernel.pripes == 16

@@ -1,0 +1,93 @@
+"""Implementation selection: offline minimal-BRAM, online maximal,
+predictive EWMA extension."""
+
+import pytest
+
+from repro.apps.histo import HistogramKernel
+from repro.ditto.generator import SystemGenerator
+from repro.ditto.selection import (
+    PredictiveOnlineSelector,
+    select_offline,
+    select_online,
+)
+from repro.ditto.spec import histogram_spec
+from repro.workloads.zipf import ZipfGenerator
+
+
+@pytest.fixture(scope="module")
+def impls():
+    return SystemGenerator().generate(histogram_spec(),
+                                      secpe_counts=[0, 1, 2, 4, 8, 15])
+
+
+class TestOffline:
+    def test_picks_smallest_covering_x(self, impls):
+        assert select_offline(impls, 0).label == "16P"
+        assert select_offline(impls, 1).label == "16P+1S"
+        assert select_offline(impls, 3).label == "16P+4S"
+        assert select_offline(impls, 9).label == "16P+15S"
+
+    def test_falls_back_to_max_when_uncoverable(self, impls):
+        subset = [im for im in impls if im.config.secpes <= 4]
+        assert select_offline(subset, 12).label == "16P+4S"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_offline([], 0)
+
+    def test_minimal_bram_among_covering(self, impls):
+        chosen = select_offline(impls, 2)
+        covering = [im for im in impls if im.config.secpes >= 2]
+        assert chosen.resources.ram_blocks == min(
+            im.resources.ram_blocks for im in covering
+        )
+
+
+class TestOnline:
+    def test_picks_maximum(self, impls):
+        assert select_online(impls).label == "16P+15S"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_online([])
+
+
+class TestPredictive:
+    def test_validation(self, impls):
+        with pytest.raises(ValueError):
+            PredictiveOnlineSelector(impls, alpha=0.0)
+        with pytest.raises(ValueError):
+            PredictiveOnlineSelector(impls, margin=-1)
+
+    def test_starts_conservative_at_max(self, impls):
+        selector = PredictiveOnlineSelector(impls)
+        assert selector.current.label == "16P+15S"
+
+    def test_steps_down_on_sustained_uniform_traffic(self, impls):
+        kernel = HistogramKernel(bins=512, pripes=16)
+        selector = PredictiveOnlineSelector(impls, alpha=0.5)
+        for seed in range(6):
+            segment = ZipfGenerator(alpha=0.0, seed=seed).generate(20_000)
+            selector.observe(segment, kernel)
+        assert selector.current.config.secpes < 15
+        assert selector.predicted_secpes < 4
+
+    def test_steps_up_when_skew_arrives(self, impls):
+        kernel = HistogramKernel(bins=512, pripes=16)
+        selector = PredictiveOnlineSelector(impls, alpha=0.6)
+        for seed in range(4):
+            selector.observe(
+                ZipfGenerator(alpha=0.0, seed=seed).generate(20_000), kernel)
+        low = selector.current.config.secpes
+        for seed in range(4):
+            selector.observe(
+                ZipfGenerator(alpha=3.0, seed=seed).generate(20_000), kernel)
+        assert selector.current.config.secpes > low
+        assert selector.switches >= 2
+
+    def test_history_records_observations(self, impls):
+        kernel = HistogramKernel(bins=512, pripes=16)
+        selector = PredictiveOnlineSelector(impls)
+        selector.observe(
+            ZipfGenerator(alpha=2.0, seed=1).generate(10_000), kernel)
+        assert len(selector.history) == 1

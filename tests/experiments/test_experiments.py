@@ -1,0 +1,87 @@
+"""Experiment package: registry behaviour and light result checks.
+
+The heavyweight shape assertions live in ``benchmarks/``; these tests
+cover the package's API surface with small parameterisations.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.fig2 import run_fig2b
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import format_interval, run_fig9
+from repro.experiments.table2 import render_table2, rows_by_key, run_table2
+from repro.experiments.table3 import render_table3, run_table3
+
+
+class TestRegistry:
+    def test_all_seven_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig2a", "fig2b", "table2", "fig7", "table3", "fig8", "fig9"
+        }
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="fig2a"):
+            run_experiment("nope")
+
+    def test_run_experiment_renders_text(self):
+        text = run_experiment("table3")
+        assert "Table III" in text
+
+
+class TestFig2b:
+    def test_endpoints(self):
+        result = run_fig2b()
+        assert result.mtps[0] == pytest.approx(1968, rel=0.02)
+        assert 10 < result.slowdown < 18
+
+    def test_render_contains_all_alphas(self):
+        text = run_fig2b().render()
+        assert "0.0" in text and "3.0" in text
+
+
+class TestTable2:
+    def test_seven_rows(self):
+        rows = run_table2()
+        assert len(rows) == 7
+        assert set(rows_by_key(rows)) == {
+            "jiang_histo", "wang_dp", "kara_dp", "chen_pr", "zhou_pr",
+            "kulkarni_hll", "tong_hhd",
+        }
+
+    def test_render_lists_every_work(self):
+        text = render_table2(run_table2())
+        for fragment in ["Jiang", "Wang", "Kara", "Chen", "Zhou",
+                         "Kulkami", "Tong"]:
+            assert fragment in text
+
+
+class TestTable3:
+    def test_rows_and_render(self):
+        rows = run_table3()
+        assert [r.label for r in rows] == [
+            "16P", "32P", "16P+1S", "16P+2S", "16P+4S", "16P+8S",
+            "16P+15S",
+        ]
+        assert all(r.ram_error < 1.0 for r in rows)
+        assert "RAM model error" in render_table3(rows)
+
+
+class TestFig8:
+    def test_small_scale_run(self):
+        result = run_fig8(scale_factor=0.1)
+        assert len(result.names) == 9
+        assert all(s > 0 for s in result.speedups)
+        assert "selected SecPEs" in result.render()
+
+
+class TestFig9:
+    def test_interval_formatting(self):
+        assert format_interval(512e-3) == "512ms"
+        assert format_interval(16e-6) == "16us"
+        assert format_interval(64e-9) == "64ns"
+
+    def test_sweep_has_26_points(self):
+        result = run_fig9()
+        assert len(result.points) == 26
+        assert result.baseline_gbps < 10.0

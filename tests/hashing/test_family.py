@@ -1,0 +1,54 @@
+"""Pairwise-independent hash family for the count-min sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing.family import PairwiseFamily
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PairwiseFamily(0, 8)
+    with pytest.raises(ValueError):
+        PairwiseFamily(4, 0)
+    fam = PairwiseFamily(2, 8)
+    with pytest.raises(IndexError):
+        fam.hash(2, 1)
+    with pytest.raises(IndexError):
+        fam.hash_array(5, np.array([1], dtype=np.uint64))
+
+def test_deterministic_for_seed():
+    a = PairwiseFamily(3, 64, seed=7)
+    b = PairwiseFamily(3, 64, seed=7)
+    c = PairwiseFamily(3, 64, seed=8)
+    keys = list(range(50))
+    assert [a.hash(1, k) for k in keys] == [b.hash(1, k) for k in keys]
+    assert [a.hash(1, k) for k in keys] != [c.hash(1, k) for k in keys]
+
+@given(st.integers(min_value=0, max_value=(1 << 62) - 1),
+       st.integers(min_value=0, max_value=3))
+def test_property_scalar_vector_agree_and_in_range(key, row):
+    fam = PairwiseFamily(4, 97, seed=3)
+    scalar = fam.hash(row, key)
+    vector = fam.hash_array(row, np.array([key], dtype=np.uint64))
+    assert scalar == int(vector[0])
+    assert 0 <= scalar < 97
+
+def test_rows_are_distinct_functions():
+    fam = PairwiseFamily(4, 1024, seed=1)
+    keys = list(range(200))
+    rows = [tuple(fam.hash(r, k) for k in keys) for r in range(4)]
+    assert len(set(rows)) == 4
+
+def test_all_rows_returns_one_index_per_row():
+    fam = PairwiseFamily(5, 128)
+    idx = fam.all_rows(123456)
+    assert len(idx) == 5
+    assert all(0 <= i < 128 for i in idx)
+
+def test_near_uniform_spread():
+    fam = PairwiseFamily(1, 16, seed=9)
+    cols = fam.hash_array(0, np.arange(16_000, dtype=np.uint64))
+    counts = np.bincount(cols, minlength=16)
+    assert counts.max() < 1.3 * counts.mean()

@@ -1,0 +1,38 @@
+"""Radix-bit extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing.radix import radix_bits, radix_bits_array
+
+
+def test_basic_extraction():
+    assert radix_bits(0b101100, 3, shift=2) == 0b011
+    assert radix_bits(0xFF, 4) == 0xF
+    assert radix_bits(0x10, 4) == 0
+
+def test_rejects_bad_args():
+    with pytest.raises(ValueError):
+        radix_bits(1, 0)
+    with pytest.raises(ValueError):
+        radix_bits(1, 4, shift=-1)
+    with pytest.raises(ValueError):
+        radix_bits_array(np.array([1], dtype=np.uint64), 0)
+
+@given(st.integers(min_value=0, max_value=(1 << 63) - 1),
+       st.integers(min_value=1, max_value=16),
+       st.integers(min_value=0, max_value=32))
+def test_property_scalar_vector_agree_and_in_range(key, bits, shift):
+    scalar = radix_bits(key, bits, shift)
+    vector = radix_bits_array(np.array([key], dtype=np.uint64), bits, shift)
+    assert scalar == int(vector[0])
+    assert 0 <= scalar < (1 << bits)
+
+@given(st.integers(min_value=1, max_value=12))
+def test_property_partition_is_exhaustive(bits):
+    """Every key maps to exactly one of the 2^bits partitions and all
+    partitions are reachable."""
+    keys = np.arange(1 << bits, dtype=np.uint64)
+    parts = radix_bits_array(keys, bits)
+    assert sorted(parts.tolist()) == list(range(1 << bits))

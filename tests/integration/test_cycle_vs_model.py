@@ -1,0 +1,77 @@
+"""The analytic models must agree with the cycle-level engine.
+
+This is what licenses running the paper-scale benchmarks on the models:
+across applications, skew levels and SecPE counts, the epoch model's
+throughput tracks the cycle simulator within a bounded relative error,
+and — more importantly — preserves every *ordering* the paper's
+conclusions rest on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.histo import HistogramKernel
+from repro.apps.hyperloglog import HyperLogLogKernel
+from repro.core.config import ArchitectureConfig
+from repro.perf.validate import compare_cycle_vs_model
+from repro.workloads.zipf import ZipfGenerator
+
+
+def batch_for(alpha, n=30_000, seed=5):
+    return ZipfGenerator(alpha=alpha, seed=seed).generate(n)
+
+
+@pytest.mark.parametrize("alpha,secpes,tolerance", [
+    (0.0, 0, 0.15),
+    (1.5, 0, 0.10),
+    (3.0, 0, 0.10),
+    (3.0, 4, 0.20),
+    (3.0, 15, 0.25),
+])
+def test_histo_model_tracks_cycle_engine(alpha, secpes, tolerance):
+    kernel = HistogramKernel(bins=512, pripes=16)
+    config = ArchitectureConfig(secpes=secpes, reschedule_threshold=0.0)
+    point = compare_cycle_vs_model(kernel, batch_for(alpha), config)
+    assert point.relative_error < tolerance, (
+        f"{point.label} @ alpha={alpha}: cycle={point.cycle_tpc:.3f} "
+        f"model={point.model_tpc:.3f}"
+    )
+
+
+def test_hll_model_tracks_cycle_engine():
+    kernel = HyperLogLogKernel(precision=10, pripes=16)
+    config = ArchitectureConfig(secpes=8, reschedule_threshold=0.0)
+    point = compare_cycle_vs_model(kernel, batch_for(2.0), config)
+    assert point.relative_error < 0.25
+
+
+def test_model_preserves_the_secpe_ordering():
+    """The Fig. 7 conclusion (more SecPEs -> more skew robustness) must
+    hold identically in both engines."""
+    kernel = HistogramKernel(bins=512, pripes=16)
+    batch = batch_for(3.0)
+    cycle_rates, model_rates = [], []
+    for secpes in [0, 2, 8, 15]:
+        config = ArchitectureConfig(secpes=secpes, reschedule_threshold=0.0)
+        point = compare_cycle_vs_model(kernel, batch, config)
+        cycle_rates.append(point.cycle_tpc)
+        model_rates.append(point.model_tpc)
+    assert cycle_rates == sorted(cycle_rates)
+    assert model_rates == sorted(model_rates)
+
+
+def test_model_preserves_the_skew_ordering():
+    """Fig. 2b's conclusion: throughput decreases with alpha, in both
+    engines, by a comparable overall factor."""
+    kernel = HistogramKernel(bins=512, pripes=16)
+    config = ArchitectureConfig(reschedule_threshold=0.0)
+    cycle_rates, model_rates = [], []
+    for alpha in [0.0, 1.0, 2.0, 3.0]:
+        point = compare_cycle_vs_model(kernel, batch_for(alpha), config)
+        cycle_rates.append(point.cycle_tpc)
+        model_rates.append(point.model_tpc)
+    assert cycle_rates == sorted(cycle_rates, reverse=True)
+    assert model_rates == sorted(model_rates, reverse=True)
+    cycle_collapse = cycle_rates[0] / cycle_rates[-1]
+    model_collapse = model_rates[0] / model_rates[-1]
+    assert cycle_collapse == pytest.approx(model_collapse, rel=0.3)

@@ -1,0 +1,105 @@
+"""The paper's headline numbers, asserted end to end.
+
+Each test reproduces one quantitative claim from the abstract or the
+evaluation text using this repository's own pipeline (not the paper's
+constants), and checks it lands in the claimed ballpark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import paper_data
+from repro.apps.histo import HistogramKernel
+from repro.core.architecture import SkewObliviousArchitecture
+from repro.core.config import ArchitectureConfig
+from repro.ditto.framework import DittoFramework
+from repro.ditto.spec import histogram_spec, hyperloglog_spec
+from repro.perf.epoch import EpochModel
+from repro.perf.steady import steady_throughput_mtps
+from repro.workloads.zipf import ZipfGenerator
+
+
+def shares_for(alpha, seed=3):
+    return ZipfGenerator(alpha=alpha, seed=seed).expected_shares(
+        destinations=16)
+
+
+class TestOneSixteenth:
+    """§II: 'The performance of the extreme skew dataset (alpha = 3) has
+    slowed down to one-sixteenth of that of the uniform dataset'."""
+
+    def test_steady_state(self):
+        uniform = steady_throughput_mtps(shares_for(0.0), 246.0)
+        extreme = steady_throughput_mtps(shares_for(3.0), 246.0)
+        assert uniform / extreme == pytest.approx(13.3, abs=1.5)
+
+    def test_cycle_level(self):
+        kernel = HistogramKernel(bins=512, pripes=16)
+        config = ArchitectureConfig(reschedule_threshold=0.0)
+        outcomes = {}
+        for alpha in (0.0, 3.0):
+            batch = ZipfGenerator(alpha=alpha, seed=9).generate(20_000)
+            arch = SkewObliviousArchitecture(config, kernel)
+            outcomes[alpha] = arch.run(batch).tuples_per_cycle
+        assert 10.0 < outcomes[0.0] / outcomes[3.0] < 18.0
+
+
+class TestTwelveX:
+    """Abstract: 'outperforms baseline by 12x on skew datasets' —
+    16 x rate recovery x (188 MHz / 246 MHz) ~ 12."""
+
+    def test_modelled_speedup_at_alpha3(self):
+        shares = shares_for(3.0)
+        base = steady_throughput_mtps(shares, 246.0, secpes=0)
+        helped = steady_throughput_mtps(shares, 188.0, secpes=15)
+        speedup = helped / base
+        assert speedup == pytest.approx(paper_data.FIG7_MAX_SPEEDUP,
+                                        abs=2.0)
+
+
+class TestUniformBandwidth:
+    """Fig. 2b: ~2000 MT/s on uniform data (8 t/c x 246 MHz)."""
+
+    def test_uniform_histo_throughput(self):
+        value = steady_throughput_mtps(shares_for(0.0), 246.0)
+        assert value == pytest.approx(paper_data.FIG2B_UNIFORM_MTPS,
+                                      rel=0.05)
+
+
+class TestDittoSelectionNeverCompromises:
+    """§VI-C1: 'Ditto could select a suitable implementation that
+    minimizes the BRAM usage without compromising performance.'"""
+
+    def test_selected_impl_within_tolerance_of_best(self):
+        framework = DittoFramework(hyperloglog_spec(precision=12),
+                                   secpe_counts=[0, 1, 2, 4, 8, 15])
+        best = max(framework.implementations,
+                   key=lambda im: im.config.secpes)
+        for alpha in [0.0, 1.0, 2.0, 3.0]:
+            batch = ZipfGenerator(alpha=alpha, seed=4).generate(150_000)
+            run = framework.choose_offline(batch)
+            route = framework.kernel.route_array(batch.keys)
+            chosen_rate = EpochModel(
+                run.implementation.config.with_secpes(
+                    run.implementation.config.secpes)
+            ).run(route).throughput_mtps(run.implementation.frequency_mhz)
+            best_rate = EpochModel(best.config).run(route).throughput_mtps(
+                best.frequency_mhz)
+            # Chosen impl must be within 25% of the max-SecPE build (the
+            # clock spread between builds is itself ~20%).
+            assert chosen_rate > 0.75 * best_rate
+            # And never larger BRAM than the maximal build.
+            assert (run.implementation.resources.ram_blocks
+                    <= best.resources.ram_blocks)
+
+
+class TestProductivity:
+    """§VI-B: 'PR from Chen et al. and HISTO from Jiang et al. have
+    around 800 and 200 lines ... Ditto requires only 22 and 6.'"""
+
+    def test_spec_line_claims(self):
+        pr_existing, pr_ditto = paper_data.CODE_LINES["PR"]
+        histo_existing, histo_ditto = paper_data.CODE_LINES["HISTO"]
+        assert pr_existing / pr_ditto > 30
+        assert histo_existing / histo_ditto > 30
+        assert histogram_spec().spec_lines == histo_ditto

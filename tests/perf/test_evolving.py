@@ -1,0 +1,90 @@
+"""Evolving-skew regime model (Fig. 9)."""
+
+import pytest
+
+from repro.core.config import ArchitectureConfig
+from repro.perf.evolving import EvolvingSkewModel, fig9_intervals
+
+
+@pytest.fixture
+def model():
+    cfg = ArchitectureConfig(
+        secpes=15, channel_depth=512, monitor_window=2048,
+        profiling_cycles=256,
+        reenqueue_delay_cycles=94_000,    # 0.5 ms at 188 MHz
+    )
+    return EvolvingSkewModel(config=cfg, frequency_mhz=188.0)
+
+
+class TestComponents:
+    def test_planned_rate_near_bandwidth(self, model):
+        assert model.planned_rate > 7.0
+
+    def test_unaided_rate_is_skewed_rate(self, model):
+        assert model.unaided_rate == pytest.approx(1 / (2 * 0.83), rel=1e-6)
+
+    def test_stale_plan_rate_between_unaided_and_planned(self, model):
+        assert model.unaided_rate < model.stale_plan_rate < model.planned_rate
+
+    def test_invalid_interval_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate(0.0)
+
+
+class TestRegimes:
+    def test_satiates_at_16ms_and_above(self, model):
+        """Paper: 'the throughput is able to satiate the network
+        bandwidth when the time interval is larger than 16 ms'."""
+        for interval in [512e-3, 64e-3, 16e-3]:
+            point = model.evaluate(interval)
+            assert point.throughput_gbps > 85.0
+            assert point.regime == "amortised"
+
+    def test_trough_in_the_middle(self, model):
+        """Between ~1 ms and ~1 us the rescheduling overhead dominates."""
+        point = model.evaluate(100e-6)
+        assert point.throughput_gbps < 40.0
+
+    def test_stopped_regime_beats_baseline(self, model):
+        """Even with rescheduling stopped, Ditto stays above the
+        no-skew-handling baseline (Fig. 9's 'consistently better')."""
+        point = model.evaluate(1e-6)
+        assert point.regime == "stopped"
+        assert point.reschedules == 0
+        assert point.throughput_gbps > model.baseline_gbps()
+
+    def test_recovers_below_64ns(self, model):
+        """'The throughput increases to meet the bandwidth again' once
+        bursts fit in the channels."""
+        point = model.evaluate(32e-9)
+        assert point.regime == "absorbed"
+        assert point.throughput_gbps > 85.0
+
+    def test_regime_boundaries_roughly_match_paper(self, model):
+        """Satiated >= 16 ms, recovered <= 64 ns, degraded in between."""
+        assert model.evaluate(16e-3).throughput_gbps > 85.0
+        assert model.evaluate(64e-9).throughput_gbps > 85.0
+        mid = model.evaluate(50e-6).throughput_gbps
+        assert mid < 50.0
+
+    def test_reschedule_counts_shape(self, model):
+        """Counts grow as intervals shrink (while rescheduling is still
+        worthwhile), then drop to zero when the system stops."""
+        slow = model.evaluate(512e-3)
+        faster = model.evaluate(4e-3)
+        stopped = model.evaluate(1e-6)
+        assert slow.reschedules < faster.reschedules
+        assert stopped.reschedules == 0
+
+
+class TestSweep:
+    def test_fig9_axis_covers_512ms_to_16ns(self):
+        intervals = fig9_intervals()
+        assert intervals[0] == pytest.approx(512e-3)
+        assert intervals[-1] == pytest.approx(16e-9, rel=1e-3)
+        assert len(intervals) == 26
+
+    def test_sweep_returns_point_per_interval(self, model):
+        points = model.sweep(fig9_intervals())
+        assert len(points) == 26
+        assert all(0 < p.throughput_gbps <= 100.0 for p in points)

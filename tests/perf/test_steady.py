@@ -1,0 +1,87 @@
+"""Steady-state model: the DESIGN.md §4 identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.profiler import SchedulingPlan, greedy_secpe_plan
+from repro.perf.steady import effective_shares, steady_rate, steady_throughput_mtps
+
+
+UNIFORM16 = np.full(16, 1 / 16)
+
+
+class TestIdentities:
+    def test_uniform_is_bandwidth_bound_at_8(self):
+        assert steady_rate(UNIFORM16) == pytest.approx(8.0)
+
+    def test_all_on_one_pe_is_half_tuple_per_cycle(self):
+        """§II: extreme skew = 1/16 of uniform -> 0.5 t/c."""
+        shares = np.zeros(16)
+        shares[0] = 1.0
+        assert steady_rate(shares) == pytest.approx(0.5)
+
+    def test_fifteen_secpes_restore_bandwidth(self):
+        """16P+15S 'is oblivious to any skew' (§VI-C1)."""
+        shares = np.zeros(16)
+        shares[0] = 1.0
+        assert steady_rate(shares, secpes=15) == pytest.approx(8.0)
+
+    def test_paper_headline_12x(self):
+        """16x rate recovery x (188/246 clock) ~ 12x end-to-end — the
+        paper's Fig. 7 maximum speedup."""
+        shares = np.zeros(16)
+        shares[0] = 1.0
+        base = steady_throughput_mtps(shares, 246.0)
+        helped = steady_throughput_mtps(shares, 188.0, secpes=15)
+        assert helped / base == pytest.approx(12.2, abs=0.3)
+
+    def test_zipf3_shares_give_one_sixteenthish(self):
+        shares = np.full(16, 0.17 / 15)
+        shares[5] = 0.83
+        rate = steady_rate(shares)
+        assert rate == pytest.approx(1 / (2 * 0.83), rel=1e-6)
+
+
+class TestEffectiveShares:
+    def test_no_plan_returns_shares(self):
+        shares = np.array([0.5, 0.5])
+        assert np.array_equal(effective_shares(shares), shares)
+
+    def test_plan_splits_hot_pe(self):
+        shares = np.array([0.7, 0.3])
+        plan = SchedulingPlan(pairs=[(2, 0)])
+        loads = effective_shares(shares, plan)
+        assert loads[0] == pytest.approx(0.35)   # PriPE 0 halved
+        assert loads[2] == pytest.approx(0.35)   # SecPE slice
+        assert loads[1] == pytest.approx(0.3)
+
+    def test_loads_conserve_total(self):
+        shares = np.array([0.6, 0.25, 0.15, 0.0])
+        plan = greedy_secpe_plan(shares, 3)
+        loads = effective_shares(shares, plan)
+        assert loads.sum() == pytest.approx(1.0)
+
+
+class TestValidationAndBounds:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            steady_rate(np.zeros(0))
+
+    def test_zero_shares_bandwidth_bound(self):
+        assert steady_rate(np.zeros(4), lanes=8) == 8.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0),
+                    min_size=2, max_size=16),
+           st.integers(min_value=0, max_value=15))
+    def test_property_rate_bounds_and_monotone_in_secpes(self, raw, secpes):
+        shares = np.asarray(raw)
+        if shares.sum() == 0:
+            shares[0] = 1.0
+        shares = shares / shares.sum()
+        secpes = min(secpes, len(shares) - 1)
+        base = steady_rate(shares, secpes=0)
+        helped = steady_rate(shares, secpes=secpes)
+        assert 0 < base <= 8.0
+        assert helped >= base - 1e-12       # SecPEs never hurt rate
+        assert helped <= 8.0

@@ -1,0 +1,103 @@
+"""Cross-cutting property-based invariants of the whole system.
+
+These run the *full* cycle-level architecture under hypothesis-generated
+workloads and configurations and assert the properties the paper's
+correctness rests on: no tuple is lost or duplicated, results equal the
+sequential golden regardless of scheduling, and skew handling never
+makes things worse.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.histo import HistogramKernel
+from repro.core.architecture import SkewObliviousArchitecture
+from repro.core.config import ArchitectureConfig
+from repro.core.profiler import greedy_secpe_plan
+from repro.perf.steady import effective_shares, steady_rate
+from repro.workloads.tuples import TupleBatch
+
+
+slow = settings(
+    deadline=None,
+    max_examples=12,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@slow
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                  min_size=32, max_size=600),
+    secpes=st.sampled_from([0, 1, 3, 7, 15]),
+)
+def test_architecture_result_equals_golden_for_any_workload(keys, secpes):
+    """End-to-end determinism: whatever the key stream and SecPE count,
+    the merged result is bit-identical to the sequential reference."""
+    kernel = HistogramKernel(bins=256, pripes=16)
+    batch = TupleBatch.from_keys(np.array(keys, dtype=np.uint64))
+    config = ArchitectureConfig(secpes=secpes, reschedule_threshold=0.0,
+                                profiling_cycles=16)
+    arch = SkewObliviousArchitecture(config, kernel)
+    outcome = arch.run(batch, max_cycles=5_000_000)
+    assert np.array_equal(outcome.result,
+                          kernel.golden(batch.keys, batch.values))
+    assert sum(outcome.pe_tuple_counts.values()) == len(batch)
+
+
+@slow
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                  min_size=64, max_size=400),
+)
+def test_rescheduling_never_corrupts_results(keys):
+    """Aggressive monitor thresholds cause detach/merge/re-enqueue churn;
+    the merged histogram must still be exact."""
+    kernel = HistogramKernel(bins=128, pripes=16)
+    batch = TupleBatch.from_keys(np.array(keys, dtype=np.uint64))
+    config = ArchitectureConfig(
+        secpes=7, reschedule_threshold=0.95, monitor_window=64,
+        profiling_cycles=16, reenqueue_delay_cycles=32,
+    )
+    arch = SkewObliviousArchitecture(config, kernel)
+    outcome = arch.run(batch, max_cycles=5_000_000)
+    assert np.array_equal(outcome.result,
+                          kernel.golden(batch.keys, batch.values))
+
+
+@given(
+    shares=st.lists(st.floats(min_value=0.001, max_value=1.0),
+                    min_size=4, max_size=16),
+    secpes=st.integers(min_value=0, max_value=15),
+)
+def test_greedy_plan_never_increases_bottleneck(shares, secpes):
+    """Planning is monotone: each extra SecPE weakly reduces the max
+    effective load, hence weakly increases the steady rate."""
+    shares = np.asarray(shares)
+    shares = shares / shares.sum()
+    m = len(shares)
+    secpes = min(secpes, m - 1)
+    previous_rate = 0.0
+    for x in range(secpes + 1):
+        plan = greedy_secpe_plan(shares, x)
+        rate = steady_rate(shares, plan=plan)
+        assert rate >= previous_rate - 1e-12
+        previous_rate = rate
+
+
+@given(
+    shares=st.lists(st.floats(min_value=0.0, max_value=1.0),
+                    min_size=2, max_size=16),
+    secpes=st.integers(min_value=0, max_value=15),
+)
+def test_effective_shares_conserve_mass(shares, secpes):
+    """Splitting a PriPE's share across SecPEs is mass-preserving."""
+    shares = np.asarray(shares)
+    if shares.sum() == 0:
+        shares[0] = 1.0
+    shares = shares / shares.sum()
+    secpes = min(secpes, len(shares) - 1)
+    plan = greedy_secpe_plan(shares, secpes)
+    loads = effective_shares(shares, plan)
+    assert loads.sum() == np.float64(1.0) or abs(loads.sum() - 1.0) < 1e-9
+    assert (loads >= -1e-12).all()

@@ -1,0 +1,53 @@
+"""Device description: the totals implied by Table III's percentages."""
+
+import pytest
+
+from repro.resources.calibration import TABLE3_MEASUREMENTS
+from repro.resources.device import ARRIA10_GX1150, PAC_PLATFORM
+
+
+class TestDeviceTotals:
+    def test_table3_percentages_are_consistent(self):
+        """Every Table III row's counts/percentage pair implies the same
+        device totals we encode: 427,200 ALMs, 2,713 M20Ks, 1,518 DSPs."""
+        # Note: the paper prints 32P logic as "230,838 (60%)", but
+        # 230,838 / 427,200 = 54% — the percentage is a typo in the
+        # paper (all six other rows imply the 427,200-ALM total), so the
+        # consistent 0.54 is used here.
+        reported_fractions = {
+            (16, 0): (0.38, 0.22, 0.27),
+            (32, 0): (0.54, 0.69, 0.48),
+            (16, 15): (0.54, 0.78, 0.43),
+        }
+        for key, (logic_pct, ram_pct, dsp_pct) in reported_fractions.items():
+            row = TABLE3_MEASUREMENTS[key]
+            assert row.logic_alms / ARRIA10_GX1150.alms == pytest.approx(
+                logic_pct, abs=0.01)
+            assert row.ram_blocks / ARRIA10_GX1150.m20k_blocks == pytest.approx(
+                ram_pct, abs=0.01)
+            assert row.dsp_blocks / ARRIA10_GX1150.dsp_blocks == pytest.approx(
+                dsp_pct, abs=0.01)
+
+    def test_bram_bits_match_65_7_mb(self):
+        assert ARRIA10_GX1150.bram_bits == pytest.approx(65.7e6)
+
+    def test_ram_blocks_for_bits_ceils(self):
+        assert ARRIA10_GX1150.ram_blocks_for_bits(1) == 1
+        assert ARRIA10_GX1150.ram_blocks_for_bits(20 * 1024) == 1
+        assert ARRIA10_GX1150.ram_blocks_for_bits(20 * 1024 + 1) == 2
+        assert ARRIA10_GX1150.ram_blocks_for_bits(0) == 0
+
+
+class TestPlatform:
+    def test_eight_lanes_for_8_byte_tuples(self):
+        """W_mem / W_tuple = 512 / 64 = 8 (the paper's N)."""
+        assert PAC_PLATFORM.lanes_for_tuple_bytes(8) == 8
+
+    def test_wider_tuples_fewer_lanes(self):
+        assert PAC_PLATFORM.lanes_for_tuple_bytes(16) == 4
+        assert PAC_PLATFORM.lanes_for_tuple_bytes(64) == 1
+        assert PAC_PLATFORM.lanes_for_tuple_bytes(128) == 1   # floor 1
+
+    def test_rejects_bad_tuple_size(self):
+        with pytest.raises(ValueError):
+            PAC_PLATFORM.lanes_for_tuple_bytes(0)

@@ -1,0 +1,101 @@
+"""Resource estimator: monotonicity, calibration passthrough, §V-C
+capacity accounting."""
+
+import pytest
+
+from repro.apps.hyperloglog import HyperLogLogKernel
+from repro.resources.estimator import ResourceEstimator
+
+
+@pytest.fixture
+def est():
+    return ResourceEstimator()
+
+
+class TestStructuralModel:
+    def test_rejects_invalid_shapes(self, est):
+        with pytest.raises(ValueError):
+            est.estimate(0, 0, 8)
+        with pytest.raises(ValueError):
+            est.estimate(16, 16, 8)          # X > M-1
+        with pytest.raises(ValueError):
+            est.estimate(16, -1, 8)
+
+    def test_ram_monotone_in_secpes(self, est):
+        values = [est.estimate(16, x, 8).ram_blocks for x in range(16)]
+        assert values == sorted(values)
+
+    def test_logic_monotone_in_secpes(self, est):
+        values = [est.estimate(16, x, 8).logic_alms for x in [0, 4, 8, 15]]
+        assert values == sorted(values)
+
+    def test_growth_is_not_proportional(self, est):
+        """Paper §VI-C1: resource consumption grows with SecPEs 'but not
+        proportional due to the static resource consumption of the
+        built-in shell'."""
+        base = est.estimate(16, 0, 8).ram_blocks
+        full = est.estimate(16, 15, 8).ram_blocks
+        pes_ratio = 31 / 16
+        assert 1.0 < full / base < 2 * pes_ratio
+        assert full / base != pytest.approx(pes_ratio, rel=0.01)
+
+    def test_skew_infrastructure_charged_only_with_secpes(self, est):
+        without = est.estimate(16, 0, 8)
+        with_one = est.estimate(16, 1, 8)
+        # Jump includes profiler (~6% logic per the paper) + mappers.
+        delta_logic = with_one.logic_alms - without.logic_alms
+        assert delta_logic > 0.05 * est.platform.device.alms
+
+    def test_fractions_match_counts(self, est):
+        e = est.estimate(16, 4, 8)
+        device = est.platform.device
+        assert e.ram_fraction == pytest.approx(e.ram_blocks / device.m20k_blocks,
+                                               abs=1e-3)
+        assert not e.exceeds_device()
+
+
+class TestCalibratedPassthrough:
+    def test_known_configs_return_paper_numbers(self, est):
+        e = est.estimate_calibrated(16, 15, 8)
+        assert e.measured
+        assert e.ram_blocks == 2_129
+        assert e.logic_alms == 230_095
+        assert e.dsp_blocks == 658
+
+    def test_unknown_configs_fall_back_to_model(self, est):
+        e = est.estimate_calibrated(16, 3, 8)
+        assert not e.measured
+
+    def test_structural_model_tracks_table3_within_2x(self, est):
+        """The structural model cannot match P&R exactly, but every
+        Table III row must be reproduced within a factor of 2."""
+        profile = HyperLogLogKernel(precision=14, pripes=16).resource_profile()
+        for (m, x) in [(16, 0), (16, 1), (16, 4), (16, 15), (32, 0)]:
+            measured = est.estimate_calibrated(m, x, 8, profile)
+            lanes = 8 if m == 16 else 16
+            modelled = est.estimate(m, x, lanes, profile)
+            assert 0.5 < modelled.ram_blocks / measured.ram_blocks < 2.0
+            assert 0.5 < modelled.logic_alms / measured.logic_alms < 2.0
+
+
+class TestCapacityAnalysis:
+    def test_distinct_capacity_fraction(self, est):
+        """§V-C: M/(M+X) of the budget holds distinct data; X = M-1
+        still guarantees half."""
+        assert est.distinct_capacity_fraction(16, 0) == 1.0
+        assert est.distinct_capacity_fraction(16, 16 - 1) == pytest.approx(
+            16 / 31)
+        assert est.distinct_capacity_fraction(16, 15) > 0.5
+
+    def test_distinct_capacity_validation(self, est):
+        with pytest.raises(ValueError):
+            est.distinct_capacity_fraction(0, 0)
+        with pytest.raises(ValueError):
+            est.distinct_capacity_fraction(4, -1)
+
+    def test_bram_saving_vs_replication(self, est):
+        """16 PEs with double-buffered replicas = the paper's 32x."""
+        assert est.bram_saving_vs_replication(16, 2) == 32.0
+        assert est.bram_saving_vs_replication(16, 1) == 16.0
+        with pytest.raises(ValueError):
+            est.bram_saving_vs_replication(0)

@@ -1,0 +1,50 @@
+"""Frequency model: measured passthrough and analytic behaviour."""
+
+import pytest
+
+from repro.resources.calibration import TABLE3_MEASUREMENTS
+from repro.resources.estimator import ResourceEstimator
+from repro.resources.frequency import FrequencyModel
+
+
+@pytest.fixture
+def model():
+    return FrequencyModel()
+
+@pytest.fixture
+def est():
+    return ResourceEstimator()
+
+
+def test_measured_configs_return_paper_fmax(model, est):
+    for (m, x), row in TABLE3_MEASUREMENTS.items():
+        lanes = 8 if m == 16 else 16
+        estimate = est.estimate_calibrated(m, x, lanes)
+        assert model.predict(estimate) == row.frequency_mhz
+
+def test_label_parsing_handles_both_forms(model):
+    assert FrequencyModel._measured_for_label("16P") == 246.0
+    assert FrequencyModel._measured_for_label("16P+2S") == 180.0
+    assert FrequencyModel._measured_for_label("24P") is None
+    assert FrequencyModel._measured_for_label("widget") is None
+
+def test_analytic_model_is_deterministic(model, est):
+    e = est.estimate(24, 0, 8)
+    assert model.predict(e) == model.predict(e)
+
+def test_analytic_model_degrades_with_utilisation(est):
+    model = FrequencyModel(jitter_mhz=0.0)
+    light = est.estimate(16, 0, 8)
+    heavy = est.estimate(16, 15, 8)
+    assert model.predict(heavy) < model.predict(light)
+
+def test_floor_clamps(est):
+    model = FrequencyModel(base_mhz=100.0, logic_penalty_mhz=500.0,
+                           floor_mhz=120.0, jitter_mhz=0.0)
+    e = est.estimate(16, 15, 8)
+    assert model.predict(e) == 120.0
+
+def test_predictions_in_plausible_fpga_range(model, est):
+    for m, x in [(16, 3), (16, 7), (24, 0), (8, 2)]:
+        e = est.estimate(m, x, 8)
+        assert 120.0 <= model.predict(e) <= 300.0

@@ -1,0 +1,53 @@
+"""Platform portability (§V-A): the Xilinx migration is configuration."""
+
+import pytest
+
+from repro.ditto.generator import SystemGenerator, tune_pe_counts
+from repro.ditto.spec import histogram_spec
+from repro.resources.device import (
+    PAC_PLATFORM,
+    XILINX_U250,
+    XILINX_U250_PLATFORM,
+)
+from repro.resources.estimator import ResourceEstimator
+
+
+class TestXilinxPlatform:
+    def test_device_inventory(self):
+        assert XILINX_U250.alms > 0
+        assert XILINX_U250.dsp_blocks > PAC_PLATFORM.device.dsp_blocks
+
+    def test_eq1_holds_on_both_platforms(self):
+        """Same 512-bit interface -> same N and M; the tuning formula is
+        platform data, not platform code."""
+        intel = tune_pe_counts(histogram_spec(), PAC_PLATFORM)
+        xilinx = tune_pe_counts(histogram_spec(), XILINX_U250_PLATFORM)
+        assert intel.lanes == xilinx.lanes == 8
+        assert intel.pripes == xilinx.pripes == 16
+
+    def test_generator_runs_against_xilinx(self):
+        gen = SystemGenerator(platform=XILINX_U250_PLATFORM,
+                              use_measured_builds=False)
+        impls = gen.generate(histogram_spec(), secpe_counts=[0, 4, 15])
+        assert [im.label for im in impls] == ["16P", "16P+4S", "16P+15S"]
+        rams = [im.resources.ram_blocks for im in impls]
+        assert rams == sorted(rams)
+        # No Table III data exists for this platform: nothing measured.
+        assert not any(im.resources.measured for im in impls)
+
+    def test_estimator_uses_platform_shell(self):
+        intel = ResourceEstimator(platform=PAC_PLATFORM)
+        xilinx = ResourceEstimator(platform=XILINX_U250_PLATFORM)
+        a = intel.estimate(16, 0, 8)
+        b = xilinx.estimate(16, 0, 8)
+        assert a.ram_blocks != b.ram_blocks        # different shells
+        # Fractions are against each device's own totals.
+        assert 0 < b.ram_fraction < 1
+        assert b.dsp_fraction < a.dsp_fraction     # U250 has far more DSPs
+
+    def test_wider_memory_interface_changes_eq1(self):
+        from dataclasses import replace
+        wide = replace(XILINX_U250_PLATFORM, memory_interface_bits=1024)
+        cfg = tune_pe_counts(histogram_spec(), wide)
+        assert cfg.lanes == 16
+        assert cfg.pripes == 32

@@ -1,0 +1,112 @@
+"""Streaming sessions: result accumulation across segments."""
+
+import numpy as np
+import pytest
+
+from repro.apps.histo import HistogramKernel
+from repro.apps.hyperloglog import HyperLogLogKernel
+from repro.apps.partition import PartitionKernel
+from repro.core.config import ArchitectureConfig
+from repro.core.kernel import KernelSpec
+from repro.runtime import StreamingSession
+from repro.workloads.evolving import EvolvingZipfStream
+from repro.workloads.zipf import ZipfGenerator
+
+
+def make_session(kernel, secpes=8, threshold=0.0):
+    return StreamingSession(
+        config=ArchitectureConfig(secpes=secpes,
+                                  reschedule_threshold=threshold),
+        kernel=kernel,
+    )
+
+
+class TestHistogramSession:
+    def test_running_histogram_equals_batch_of_everything(self):
+        kernel = HistogramKernel(bins=256, pripes=16)
+        session = make_session(kernel)
+        segments = [
+            ZipfGenerator(alpha=a, seed=50 + i).generate(5_000)
+            for i, a in enumerate([0.5, 2.0, 3.0])
+        ]
+        for segment in segments:
+            session.process(segment)
+        merged = segments[0].concat(segments[1]).concat(segments[2])
+        golden = kernel.golden(merged.keys, merged.values)
+        assert np.array_equal(session.result, golden)
+        assert session.total_tuples == 15_000
+
+    def test_history_records_each_segment(self):
+        kernel = HistogramKernel(bins=256, pripes=16)
+        session = make_session(kernel)
+        for i in range(3):
+            record = session.process(
+                ZipfGenerator(alpha=1.0, seed=i).generate(3_000))
+            assert record.index == i
+            assert record.tuples == 3_000
+        assert len(session.history) == 3
+        assert 0 < session.average_throughput() <= 8.0
+
+
+class TestHLLSession:
+    def test_running_cardinality_max_folds(self):
+        kernel = HyperLogLogKernel(precision=10, pripes=16)
+        session = make_session(kernel)
+        a = ZipfGenerator(alpha=0.0, seed=1).generate(8_000)
+        b = ZipfGenerator(alpha=0.0, seed=2).generate(8_000)
+        session.process(a)
+        session.process(b)
+        merged = a.concat(b)
+        golden = kernel.golden(merged.keys, merged.values)
+        assert np.array_equal(session.result, golden)
+
+
+class TestPartitionSession:
+    def test_partitions_extend_across_segments(self):
+        kernel = PartitionKernel(radix_bits_count=6, pripes=16)
+        session = make_session(kernel, secpes=4)
+        a = ZipfGenerator(alpha=1.0, seed=3).generate(3_000)
+        b = ZipfGenerator(alpha=1.0, seed=4).generate(3_000)
+        session.process(a)
+        session.process(b)
+        merged = a.concat(b)
+        golden = kernel.golden(merged.keys, merged.values)
+        assert set(session.result) == set(golden)
+        for part in golden:
+            assert sorted(session.result[part]) == sorted(golden[part])
+
+
+class TestEvolvingSession:
+    def test_adapts_across_distribution_changes(self):
+        """An evolving alpha=3 stream: every segment re-profiles (fresh
+        pipeline per segment) so throughput stays near the planned rate
+        rather than the unaided one."""
+        kernel = HistogramKernel(bins=256, pripes=16)
+        session = make_session(kernel, secpes=15)
+        stream = EvolvingZipfStream(alpha=3.0, interval_tuples=6_000,
+                                    total_tuples=18_000, base_seed=9)
+        for segment in stream.segments():
+            session.process(segment.batch)
+        # Short segments pay the profiling + channel-drain transient
+        # every time, so the rate sits well below the 7+ t/c steady
+        # state — but far above the unaided 0.6 t/c.
+        assert session.average_throughput() > 1.5
+        golden = kernel.golden(stream.materialize().keys,
+                               np.zeros(18_000))
+        assert np.array_equal(session.result, golden)
+
+
+class TestCombineDefaults:
+    def test_base_kernel_combiner_is_loud(self):
+        class Bare(KernelSpec):
+            def route(self, key):
+                return 0
+
+            def make_buffer(self):
+                return []
+
+            def process(self, buffer, key, value):
+                pass
+
+        with pytest.raises(NotImplementedError, match="combiner"):
+            Bare().combine_results(1, 2)

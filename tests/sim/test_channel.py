@@ -1,0 +1,165 @@
+"""Channel semantics: FIFO order, two-phase commit, capacity, closure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.channel import Channel, ChannelClosed
+
+
+class TestBasics:
+    def test_requires_positive_capacity(self):
+        with pytest.raises(ValueError):
+            Channel("bad", capacity=0)
+
+    def test_starts_empty(self):
+        ch = Channel("c")
+        assert len(ch) == 0
+        assert not ch.can_read()
+        assert ch.try_read() is None
+        assert ch.peek() is None
+
+    def test_read_from_empty_raises_and_counts_stall(self):
+        ch = Channel("c")
+        with pytest.raises(IndexError):
+            ch.read()
+        assert ch.read_stalls == 1
+
+
+class TestTwoPhaseCommit:
+    def test_write_not_visible_same_cycle(self):
+        ch = Channel("c")
+        assert ch.write(1)
+        assert not ch.can_read()          # staged, not committed
+        assert ch.staged_count == 1
+        ch.commit()
+        assert ch.can_read()
+        assert ch.read() == 1
+
+    def test_fifo_order_across_commits(self):
+        ch = Channel("c", capacity=16)
+        ch.write(1)
+        ch.write(2)
+        ch.commit()
+        ch.write(3)
+        ch.commit()
+        assert [ch.read(), ch.read(), ch.read()] == [1, 2, 3]
+
+    def test_peek_does_not_consume(self):
+        ch = Channel("c")
+        ch.write("x")
+        ch.commit()
+        assert ch.peek() == "x"
+        assert ch.read() == "x"
+
+
+class TestCapacity:
+    def test_write_fails_when_full(self):
+        ch = Channel("c", capacity=2)
+        assert ch.write(1) and ch.write(2)
+        assert not ch.write(3)
+        assert ch.write_stalls == 1
+
+    def test_staged_counts_against_capacity(self):
+        ch = Channel("c", capacity=2)
+        ch.write(1)
+        ch.commit()
+        ch.write(2)
+        # 1 committed + 1 staged == capacity: next write must fail.
+        assert not ch.write(3)
+
+    def test_can_write_multi(self):
+        ch = Channel("c", capacity=3)
+        assert ch.can_write(3)
+        assert not ch.can_write(4)
+        ch.write(0)
+        assert ch.can_write(2)
+        assert not ch.can_write(3)
+
+    def test_reading_frees_capacity(self):
+        ch = Channel("c", capacity=1)
+        ch.write(1)
+        ch.commit()
+        assert not ch.can_write()
+        ch.read()
+        assert ch.can_write()
+
+
+class TestClose:
+    def test_close_is_deferred_to_commit(self):
+        ch = Channel("c")
+        ch.write(1)
+        ch.close()
+        assert not ch.closed
+        ch.commit()
+        assert ch.closed
+        assert not ch.exhausted            # one element still queued
+        ch.read()
+        assert ch.exhausted
+
+    def test_write_after_close_raises(self):
+        ch = Channel("c")
+        ch.close()
+        with pytest.raises(ChannelClosed):
+            ch.write(1)
+
+    def test_close_preserves_staged_data(self):
+        ch = Channel("c")
+        ch.write(1)
+        ch.write(2)
+        ch.close()
+        ch.commit()
+        assert [ch.read(), ch.read()] == [1, 2]
+
+
+class TestStatistics:
+    def test_counters(self):
+        ch = Channel("c", capacity=4)
+        for i in range(4):
+            ch.write(i)
+        ch.commit()
+        assert ch.total_written == 4
+        assert ch.peak_occupancy == 4
+        ch.read()
+        ch.read()
+        assert ch.total_read == 2
+
+    def test_peak_tracks_maximum(self):
+        ch = Channel("c", capacity=8)
+        ch.write(1)
+        ch.commit()
+        ch.read()
+        ch.write(1)
+        ch.write(2)
+        ch.commit()
+        assert ch.peak_occupancy == 2
+
+
+@given(st.lists(st.integers(), min_size=0, max_size=64))
+def test_property_fifo_preserves_sequence(items):
+    """Whatever is written (across arbitrary commit points) reads back in
+    order."""
+    ch = Channel("p", capacity=128)
+    for i, item in enumerate(items):
+        ch.write(item)
+        if i % 3 == 0:
+            ch.commit()
+    ch.commit()
+    out = []
+    while ch.can_read():
+        out.append(ch.read())
+    assert out == items
+
+
+@given(st.integers(min_value=1, max_value=32),
+       st.integers(min_value=0, max_value=100))
+def test_property_occupancy_never_exceeds_capacity(capacity, attempts):
+    ch = Channel("p", capacity=capacity)
+    written = 0
+    for i in range(attempts):
+        if ch.write(i):
+            written += 1
+        if i % 5 == 4:
+            ch.commit()
+    ch.commit()
+    assert ch.occupancy <= capacity
+    assert ch.occupancy == written

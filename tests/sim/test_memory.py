@@ -1,0 +1,100 @@
+"""Memory engines: burst all-or-nothing reads, closure cascade, drains."""
+
+import pytest
+
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.memory import GlobalMemory, MemoryReadEngine, MemoryWriteEngine
+
+
+class TestGlobalMemory:
+    def test_allocate_and_access(self):
+        mem = GlobalMemory()
+        region = mem.allocate("tuples", [1, 2, 3])
+        assert mem.region("tuples") is region
+        assert "tuples" in mem
+
+    def test_double_allocate_rejected(self):
+        mem = GlobalMemory()
+        mem.allocate("r")
+        with pytest.raises(KeyError):
+            mem.allocate("r")
+
+
+class TestReadEngine:
+    def test_requires_lanes(self):
+        with pytest.raises(ValueError):
+            MemoryReadEngine("r", [1], [])
+
+    def test_streams_round_robin_across_lanes(self):
+        lanes = [Channel(f"l{i}", capacity=64) for i in range(4)]
+        engine = MemoryReadEngine("r", list(range(8)), lanes)
+        sim = Simulator()
+        for lane in lanes:
+            sim.add_channel(lane)
+        sim.add_module(engine)
+        sim.run(max_cycles=10)
+        assert engine.tuples_issued == 8
+        # Tuple i goes to lane i % N in issue order.
+        assert list(lanes[0]) == [0, 4]
+        assert list(lanes[3]) == [3, 7]
+
+    def test_burst_is_all_or_nothing(self):
+        """If one lane is full, no lane receives data that cycle."""
+        lanes = [Channel("l0", capacity=1), Channel("l1", capacity=1)]
+        engine = MemoryReadEngine("r", list(range(6)), lanes)
+        engine.tick(0)
+        for lane in lanes:
+            lane.commit()
+        # Lane 0 and 1 now hold one tuple each and are full.
+        engine.tick(1)
+        assert engine.stall_cycles == 1
+        assert engine.tuples_issued == 2
+
+    def test_partial_tail_burst(self):
+        """A tail shorter than the lane count still issues."""
+        lanes = [Channel(f"l{i}", capacity=8) for i in range(4)]
+        engine = MemoryReadEngine("r", [1, 2, 3, 4, 5], lanes)
+        sim = Simulator()
+        for lane in lanes:
+            sim.add_channel(lane)
+        sim.add_module(engine)
+        sim.run(max_cycles=10)
+        assert engine.tuples_issued == 5
+
+    def test_closes_lanes_when_exhausted(self):
+        lanes = [Channel("l0", capacity=8)]
+        engine = MemoryReadEngine("r", [1], lanes)
+        sim = Simulator()
+        sim.add_channel(lanes[0])
+        sim.add_module(engine)
+        sim.run(max_cycles=10)
+        assert lanes[0].closed
+        assert engine.done
+
+    def test_window_bounds(self):
+        lanes = [Channel("l0", capacity=64)]
+        engine = MemoryReadEngine("r", list(range(10)), lanes,
+                                  start_index=2, end_index=5)
+        sim = Simulator()
+        sim.add_channel(lanes[0])
+        sim.add_module(engine)
+        sim.run(max_cycles=20)
+        assert list(lanes[0]) == [2, 3, 4]
+
+
+class TestWriteEngine:
+    def test_drains_inputs_to_sink(self):
+        sink = []
+        ch = Channel("in", capacity=16)
+        engine = MemoryWriteEngine("w", sink, [ch], drain_per_cycle=4)
+        for i in range(6):
+            ch.write(i)
+        ch.close()
+        ch.commit()
+        engine.tick(0)
+        assert sink == [0, 1, 2, 3]
+        engine.tick(1)
+        assert sink == [0, 1, 2, 3, 4, 5]
+        engine.tick(2)
+        assert engine.done

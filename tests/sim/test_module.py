@@ -1,0 +1,45 @@
+"""Module lifecycle and utilisation accounting."""
+
+import pytest
+
+from repro.sim.module import Module
+
+
+class Counter(Module):
+    """Ticks busy for `busy` cycles then finishes."""
+
+    def __init__(self, busy: int) -> None:
+        super().__init__("counter")
+        self.remaining = busy
+
+    def tick(self, cycle: int) -> None:
+        if self.remaining > 0:
+            self.remaining -= 1
+            self.note_busy()
+        else:
+            self.finish()
+
+
+def test_base_tick_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Module("m").tick(0)
+
+def test_finish_sets_done():
+    m = Counter(0)
+    assert not m.done
+    m.tick(0)
+    assert m.done
+
+def test_utilization_mixes_busy_stall_idle():
+    m = Module("m")
+    m.note_busy()
+    m.note_busy()
+    m.note_stall()
+    m.note_idle()
+    assert m.busy_cycles == 2
+    assert m.stall_cycles == 1
+    assert m.idle_cycles == 1
+    assert m.utilization == pytest.approx(0.5)
+
+def test_utilization_zero_when_never_ticked():
+    assert Module("m").utilization == 0.0

@@ -1,0 +1,55 @@
+"""Tracers: occupancy sampling and windowed throughput."""
+
+import pytest
+
+from repro.sim.channel import Channel
+from repro.sim.tracing import ChannelOccupancyTrace, ThroughputTrace
+
+
+class TestOccupancyTrace:
+    def test_samples_on_grid_only(self):
+        ch = Channel("c", capacity=8)
+        trace = ChannelOccupancyTrace([ch], every=2)
+        ch.write(1)
+        ch.commit()
+        trace.sample(0)
+        trace.sample(1)   # off-grid, ignored
+        trace.sample(2)
+        assert trace.cycles == [0, 2]
+        assert trace.samples["c"] == [1, 1]
+
+    def test_max_occupancy(self):
+        ch = Channel("c", capacity=8)
+        trace = ChannelOccupancyTrace([ch], every=1)
+        trace.sample(0)
+        ch.write(1)
+        ch.write(2)
+        ch.commit()
+        trace.sample(1)
+        assert trace.max_occupancy("c") == 2
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            ChannelOccupancyTrace([], every=0)
+
+
+class TestThroughputTrace:
+    def test_windowed_rate(self):
+        trace = ThroughputTrace(window=10)
+        for cycle in range(1, 21):
+            trace.record(2)
+            trace.on_cycle(cycle)
+        assert trace.total == 40
+        assert trace.history
+        assert trace.latest() == pytest.approx(2.0)
+
+    def test_no_history_before_first_window(self):
+        trace = ThroughputTrace(window=100)
+        trace.record(5)
+        trace.on_cycle(50)
+        assert trace.history == []
+        assert trace.latest() == 0.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ThroughputTrace(window=0)

@@ -1,0 +1,92 @@
+"""CLI: every command runs and produces the expected artifacts."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--app", "nope"])
+
+
+class TestExperiment:
+    def test_list(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ["fig2a", "fig2b", "table2", "fig7", "table3",
+                     "fig8", "fig9"]:
+            assert name in out
+
+    def test_unknown_name_fails_cleanly(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_fig2b_runs(self, capsys):
+        assert main(["experiment", "fig2b"]) == 0
+        assert "Fig.2b" in capsys.readouterr().out
+
+    def test_fig9_runs(self, capsys):
+        assert main(["experiment", "fig9"]) == 0
+        assert "Fig.9" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_verified_run(self, capsys):
+        code = main([
+            "simulate", "--app", "histo", "--alpha", "2.0",
+            "--tuples", "6000", "--secpes", "4", "--verify",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified       : OK" in out
+        assert "16P+4S" in out
+
+    def test_partition_app(self, capsys):
+        code = main([
+            "simulate", "--app", "dp", "--alpha", "1.0",
+            "--tuples", "4000", "--verify",
+        ])
+        assert code == 0
+        assert "verified       : OK" in capsys.readouterr().out
+
+    def test_hhd_app(self, capsys):
+        code = main([
+            "simulate", "--app", "hhd", "--alpha", "2.5",
+            "--tuples", "4000", "--secpes", "2",
+        ])
+        assert code == 0
+
+
+class TestGenerateSelectCodegen:
+    def test_generate_prints_full_set(self, capsys):
+        assert main(["generate", "--app", "hll"]) == 0
+        out = capsys.readouterr().out
+        assert "16P+15S" in out
+        assert "distinct capacity" in out
+
+    def test_select_reports_required_secpes(self, capsys):
+        code = main([
+            "select", "--app", "histo", "--alpha", "3.0",
+            "--tuples", "60000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "required SecPEs" in out
+        assert "selected" in out
+
+    def test_codegen_writes_files(self, tmp_path, capsys):
+        code = main([
+            "codegen", "--app", "histo", "--secpes", "1",
+            "--output", str(tmp_path),
+        ])
+        assert code == 0
+        out_dir = tmp_path / "16P+1S"
+        assert (out_dir / "common.h").exists()
+        assert (out_dir / "profiler.cl").exists()
+        assert "__kernel" in (out_dir / "pe.cl").read_text()

@@ -1,0 +1,70 @@
+"""Graph suite: structure, degree ordering, skew statistics."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graphs import GraphDataset, paper_graph_suite, rmat_graph
+
+
+class TestGraphDataset:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            GraphDataset("bad", 4, np.array([0, 1]), np.array([1]))
+
+    def test_degree_accounting(self):
+        g = GraphDataset("tri", 3,
+                         np.array([0, 1, 2, 1, 2, 0]),
+                         np.array([1, 2, 0, 0, 1, 2]))
+        assert g.num_edges == 6
+        assert g.avg_degree == pytest.approx(2.0)
+        assert list(g.out_degrees()) == [2, 2, 2]
+        assert list(g.in_degrees()) == [2, 2, 2]
+
+    def test_max_in_share(self):
+        g = GraphDataset("star", 4,
+                         np.array([1, 2, 3]),
+                         np.array([0, 0, 0]))
+        assert g.max_in_share(4) == pytest.approx(1.0)
+
+
+class TestRmat:
+    def test_shapes_and_vertex_range(self):
+        g = rmat_graph("r", scale=8, edge_factor=4, seed=1)
+        assert g.num_vertices == 256
+        assert g.num_edges == 2 * 256 * 4          # symmetrised
+        assert g.src.max() < 256 and g.dst.max() < 256
+
+    def test_symmetric(self):
+        g = rmat_graph("r", scale=6, edge_factor=2, seed=2)
+        fwd = set(zip(g.src.tolist(), g.dst.tolist()))
+        assert all((d, s) in fwd for s, d in fwd)
+
+    def test_heavy_tail(self):
+        """RMAT in-degrees are heavy-tailed: the max far exceeds the
+        mean (the PR skew driver)."""
+        g = rmat_graph("r", scale=10, edge_factor=8, seed=3)
+        degrees = g.in_degrees()
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rmat_graph("r", scale=0, edge_factor=4)
+
+
+class TestSuite:
+    def test_nine_graphs_in_ascending_degree(self):
+        suite = paper_graph_suite(scale_factor=0.05)
+        assert len(suite) == 9
+        degrees = [g.avg_degree for g in suite]
+        assert degrees == sorted(degrees)
+
+    def test_degree_range_spans_an_order_of_magnitude(self):
+        suite = paper_graph_suite(scale_factor=0.05)
+        assert suite[-1].avg_degree > 10 * suite[0].avg_degree
+
+    def test_skew_grows_with_degree_overall(self):
+        """Fig. 8's driver: higher-degree graphs concentrate more edges
+        on the hottest PE."""
+        suite = paper_graph_suite(scale_factor=0.05)
+        shares = [g.max_in_share(16) for g in suite]
+        assert shares[-1] > shares[0]

@@ -1,0 +1,76 @@
+"""TupleBatch: construction, slicing, sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.tuples import TupleBatch
+
+
+def make(n=10):
+    return TupleBatch(np.arange(n, dtype=np.uint64),
+                      np.arange(n, dtype=np.int64))
+
+
+def test_length_and_bytes():
+    batch = make(10)
+    assert len(batch) == 10
+    assert batch.nbytes == 80
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        TupleBatch(np.zeros(3, np.uint64), np.zeros(2, np.int64))
+
+def test_bad_tuple_bytes_rejected():
+    with pytest.raises(ValueError):
+        TupleBatch(np.zeros(1, np.uint64), np.zeros(1), tuple_bytes=0)
+
+def test_iteration_yields_scalar_pairs():
+    batch = make(3)
+    assert list(batch) == [(0, 0), (1, 1), (2, 2)]
+
+def test_slice_is_view_of_range():
+    batch = make(10)
+    part = batch.slice(2, 5)
+    assert len(part) == 3
+    assert part.keys[0] == 2
+
+def test_concat():
+    joined = make(3).concat(make(2))
+    assert len(joined) == 5
+
+def test_concat_rejects_mismatched_tuple_bytes():
+    a = make(2)
+    b = TupleBatch(np.zeros(2, np.uint64), np.zeros(2), tuple_bytes=16)
+    with pytest.raises(ValueError):
+        a.concat(b)
+
+def test_from_keys_sets_unit_values():
+    batch = TupleBatch.from_keys(np.array([5, 6], dtype=np.uint64))
+    assert list(batch.values) == [1, 1]
+
+class TestSampling:
+    def test_sample_size(self):
+        batch = make(1000)
+        assert len(batch.sample(0.1, seed=1)) == 100
+
+    def test_sample_at_least_one(self):
+        assert len(make(10).sample(0.001)) == 1
+
+    def test_sample_fraction_validated(self):
+        with pytest.raises(ValueError):
+            make(10).sample(0.0)
+        with pytest.raises(ValueError):
+            make(10).sample(1.5)
+
+    def test_sample_is_deterministic_per_seed(self):
+        batch = make(100)
+        a = batch.sample(0.2, seed=5)
+        b = batch.sample(0.2, seed=5)
+        assert np.array_equal(a.keys, b.keys)
+
+    @given(st.integers(min_value=10, max_value=500))
+    def test_property_sample_is_subset(self, n):
+        batch = make(n)
+        sample = batch.sample(0.3, seed=2)
+        assert set(sample.keys.tolist()) <= set(batch.keys.tolist())

@@ -1,0 +1,103 @@
+"""Zipf generator: pmf correctness, skew behaviour, seed effects."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.zipf import ZipfGenerator, zipf_pmf
+
+
+class TestPmf:
+    def test_alpha_zero_is_uniform(self):
+        pmf = zipf_pmf(100, 0.0)
+        assert np.allclose(pmf, 0.01)
+
+    def test_normalised(self):
+        assert zipf_pmf(1000, 2.0).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing_in_rank(self):
+        pmf = zipf_pmf(50, 1.5)
+        assert all(pmf[i] >= pmf[i + 1] for i in range(49))
+
+    def test_rank1_share_alpha3(self):
+        """P(rank 1) = 1/zeta(3) ~ 0.832 — the source of the paper's
+        13.3x hottest heatmap cell (13.3/16 = 0.83)."""
+        pmf = zipf_pmf(1 << 20, 3.0)
+        assert pmf[0] == pytest.approx(0.8319, abs=2e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_pmf(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_pmf(10, -0.5)
+
+
+class TestGenerator:
+    def test_generates_requested_count(self):
+        batch = ZipfGenerator(alpha=1.0, seed=1).generate(5000)
+        assert len(batch) == 5000
+
+    def test_rejects_bad_count_and_universe(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(alpha=1.0).generate(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(alpha=1.0, universe=1)
+
+    def test_uniform_spreads_over_pes(self):
+        gen = ZipfGenerator(alpha=0.0, seed=2)
+        batch = gen.generate(32_000)
+        dst = (batch.keys % np.uint64(16)).astype(int)
+        shares = np.bincount(dst, minlength=16) / 32_000
+        assert shares.max() < 0.085          # ~1/16 each
+
+    def test_extreme_skew_concentrates(self):
+        gen = ZipfGenerator(alpha=3.0, seed=2)
+        batch = gen.generate(32_000)
+        dst = (batch.keys % np.uint64(16)).astype(int)
+        shares = np.bincount(dst, minlength=16) / 32_000
+        assert shares.max() > 0.75
+
+    def test_seed_moves_the_hot_pe(self):
+        """Fig. 2a: 'overloaded PEs vary across datasets' — different
+        seeds put the dominant key on different PEs."""
+        hot_pes = set()
+        for seed in range(12):
+            gen = ZipfGenerator(alpha=3.0, seed=seed)
+            batch = gen.generate(4000)
+            dst = (batch.keys % np.uint64(16)).astype(int)
+            hot_pes.add(int(np.bincount(dst, minlength=16).argmax()))
+        assert len(hot_pes) >= 4
+
+    def test_deterministic_per_seed(self):
+        a = ZipfGenerator(alpha=1.5, seed=7).generate(100)
+        b = ZipfGenerator(alpha=1.5, seed=7).generate(100)
+        assert np.array_equal(a.keys, b.keys)
+
+    @settings(deadline=None, max_examples=20)
+    @given(alpha=st.floats(min_value=0.0, max_value=3.0))
+    def test_property_keys_within_universe(self, alpha):
+        gen = ZipfGenerator(alpha=alpha, universe=1 << 12, seed=3)
+        batch = gen.generate(500)
+        assert batch.keys.max() < (1 << 12)
+
+
+class TestExpectedShares:
+    def test_shares_sum_to_one(self):
+        gen = ZipfGenerator(alpha=2.0, seed=4)
+        shares = gen.expected_shares(destinations=16)
+        assert shares.sum() == pytest.approx(1.0)
+
+    def test_skew_increases_max_share(self):
+        maxima = []
+        for alpha in [0.0, 1.0, 2.0, 3.0]:
+            gen = ZipfGenerator(alpha=alpha, seed=4)
+            maxima.append(gen.expected_shares(destinations=16).max())
+        assert maxima == sorted(maxima)
+
+    def test_custom_route_function(self):
+        gen = ZipfGenerator(alpha=0.0, seed=4)
+        shares = gen.expected_shares(
+            route=lambda keys: np.zeros(len(keys), dtype=np.int64),
+            destinations=4,
+        )
+        assert shares[0] == pytest.approx(1.0)
