@@ -1,0 +1,90 @@
+"""Fleet-level skew balancing: skew-aware vs naive round-robin sharding.
+
+The serving layer's claim mirrors the paper's, one level up: static
+key-range sharding (each of K workers owns a fixed hash range) collapses
+under skew because the worker owning the hot range becomes the fleet
+bottleneck, while the skew-aware balancer — the paper's profiling
+histogram + greedy SecPE plan applied across workers — keeps the fleet
+near its balanced rate.
+
+Throughput is deterministic simulated-cycle accounting: fleet rate =
+total tuples / makespan, where makespan is the busiest worker's cycles
+(workers run in parallel).
+
+Asserted headline: on a Zipf(1.2+) stream with K >= 4 workers, the
+skew-aware balancer sustains >= 1.3x the round-robin fleet rate.
+"""
+
+from repro.analysis.tables import Table
+from repro.service import StreamService
+from repro.workloads.streams import chunk_stream
+from repro.workloads.zipf import ZipfGenerator
+
+WORKERS = 4
+ALPHAS = [1.2, 1.5, 2.0]
+TUPLES = 16_000
+WINDOW_SECONDS = 2.56e-6
+SEED = 11
+
+
+def fleet_throughput(balancer: str, alpha: float) -> float:
+    """Fleet tuples/cycle serving one Zipf stream job end to end."""
+    batch = ZipfGenerator(alpha=alpha, seed=SEED).generate(TUPLES)
+    service = StreamService(workers=WORKERS, balancer=balancer)
+    job_id = service.submit(
+        "histo", chunk_stream(batch, 4_000),
+        window_seconds=WINDOW_SECONDS,
+    )
+    service.run()
+    service.result(job_id)  # raises unless the job completed cleanly
+    throughput = service.metrics.fleet_throughput()
+    service.shutdown()
+    return throughput
+
+
+def run_sweep() -> dict:
+    rows = {}
+    for alpha in ALPHAS:
+        naive = fleet_throughput("roundrobin", alpha)
+        skew = fleet_throughput("skew", alpha)
+        rows[alpha] = (naive, skew, skew / naive)
+    return rows
+
+
+def test_skew_aware_balancer_beats_round_robin(benchmark, emit):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        ["Zipf alpha", "round-robin t/c", "skew-aware t/c", "speedup"],
+        title=(f"Fleet throughput, {WORKERS} workers, "
+               f"{TUPLES:,}-tuple HISTO stream"),
+    )
+    for alpha, (naive, skew, ratio) in rows.items():
+        table.add_row([alpha, f"{naive:.3f}", f"{skew:.3f}",
+                       f"{ratio:.2f}x"])
+    emit("service_throughput", table.render())
+
+    # Headline acceptance: >= 1.3x on every skewed point.
+    for alpha, (_, _, ratio) in rows.items():
+        assert ratio >= 1.3, (
+            f"skew-aware balancer only {ratio:.2f}x round-robin "
+            f"at alpha={alpha}")
+    # Speedup grows with skew.
+    ratios = [rows[alpha][2] for alpha in ALPHAS]
+    assert ratios[-1] >= ratios[0]
+
+
+def test_uniform_streams_pay_no_balancing_penalty(benchmark, emit):
+    """On a uniform stream the greedy plan degenerates gracefully: the
+    skew-aware fleet stays within ~25% of static sharding (it trades M
+    owned ranges for M-X plus helpers, not a collapse)."""
+    def measure():
+        naive = fleet_throughput("roundrobin", 0.0)
+        skew = fleet_throughput("skew", 0.0)
+        return naive, skew
+
+    naive, skew = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("service_throughput_uniform",
+         f"uniform stream: round-robin {naive:.3f} t/c, "
+         f"skew-aware {skew:.3f} t/c")
+    assert skew >= 0.75 * naive

@@ -1,0 +1,80 @@
+"""Stream-serving demo: a multi-tenant fleet with skew-aware balancing.
+
+Spins up a 4-worker pipeline fleet, submits a mix of jobs (different
+applications, priorities and deadlines), serves them, verifies the
+histogram job against its golden reference, and then re-runs the same
+skewed stream under naive round-robin sharding to show the fleet-level
+speedup of the paper's greedy plan applied across workers.
+
+Run:  python examples/service_demo.py
+"""
+
+import numpy as np
+
+from repro.service import StreamService
+from repro.service.jobs import kernel_for
+from repro.workloads.streams import chunk_stream
+from repro.workloads.zipf import ZipfGenerator
+
+WORKERS = 4
+WINDOW = 2.56e-6  # 2.56 us of event time per window (4k tuples @100Gbps)
+
+
+def zipf_source(alpha: float, tuples: int, seed: int):
+    return chunk_stream(ZipfGenerator(alpha=alpha, seed=seed)
+                        .generate(tuples), 4_000)
+
+
+def main() -> None:
+    service = StreamService(workers=WORKERS, balancer="skew")
+
+    # A paying tenant's cardinality feed (high priority), a skewed
+    # histogram feed with a deadline, and a batch partitioning job.
+    hll = service.submit("hll", zipf_source(0.8, 12_000, seed=1),
+                         priority=5, window_seconds=WINDOW)
+    histo = service.submit("histo", zipf_source(1.8, 12_000, seed=2),
+                           priority=1, deadline=2e-3,
+                           window_seconds=WINDOW)
+    dp = service.submit("dp", zipf_source(1.2, 8_000, seed=3),
+                        window_seconds=WINDOW)
+
+    served = service.run()
+    print(f"served {served} jobs on {WORKERS} workers "
+          f"[{service.balancer.describe()}]\n")
+    for job_id in (hll, histo, dp):
+        status = service.poll(job_id)
+        result = service.result(job_id)
+        print(f"  {job_id}: {status['app']:<6} {status['status']}  "
+              f"{result.tuples:,} tuples in {result.segments} segments")
+
+    # The running histogram equals the golden reference of the whole
+    # stream, despite sharding across workers and windows.
+    batch = ZipfGenerator(alpha=1.8, seed=2).generate(12_000)
+    golden = kernel_for("histo", 16).golden(batch.keys, batch.values)
+    assert np.array_equal(service.result(histo).result, golden)
+    print("\nhistogram matches the golden reference across "
+          "windows x workers")
+
+    print()
+    print(service.metrics.render())
+    service.shutdown()
+
+    # Same skewed stream, one job per fresh fleet, both balancers.
+    rates = {}
+    for balancer in ("roundrobin", "skew"):
+        fleet = StreamService(workers=WORKERS, balancer=balancer)
+        fleet.submit("histo", zipf_source(1.8, 12_000, seed=2),
+                     window_seconds=WINDOW)
+        fleet.run()
+        rates[balancer] = fleet.metrics.fleet_throughput()
+        fleet.shutdown()
+
+    print(f"\nfleet throughput on the skewed histogram stream:")
+    print(f"  round-robin sharding : {rates['roundrobin']:.3f} "
+          f"tuples/cycle")
+    print(f"  skew-aware balancer  : {rates['skew']:.3f} tuples/cycle "
+          f"({rates['skew'] / rates['roundrobin']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -57,6 +57,10 @@ class HeavyHitterKernel(KernelSpec):
     """
 
     decomposable = True
+    # A key's count must accumulate in ONE sketch per stream segment:
+    # splitting its tuples across independent workers dilutes every
+    # per-worker estimate below the detection threshold.
+    splittable = False
 
     def __init__(
         self,
@@ -120,6 +124,21 @@ class HeavyHitterKernel(KernelSpec):
             min(cms[row, self.family.hash(row, key)]
                 for row in range(self.depth))
         )
+
+    def combine_results(self, first: Dict[int, int],
+                        second: Dict[int, int]) -> Dict[int, int]:
+        """Per-segment hitter estimates sum across stream segments.
+
+        Count-min point estimates over disjoint segments are each upper
+        bounds on the segment's true count, so their sum stays an upper
+        bound on the total.  A key that never crosses the threshold
+        *within a single segment* is not recovered — the standard
+        windowed-sketch approximation for streaming deployments.
+        """
+        combined = dict(first)
+        for key, estimate in second.items():
+            combined[key] = combined.get(key, 0) + estimate
+        return combined
 
     def collect(self, pripe_buffers: List[SketchBuffer]) -> Dict[int, int]:
         """Heavy hitters: candidates whose final estimate >= threshold."""

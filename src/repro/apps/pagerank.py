@@ -96,6 +96,11 @@ class PageRankKernel(KernelSpec):
             span += buffer[: span.size]
         return sums
 
+    def combine_results(self, first: np.ndarray,
+                        second: np.ndarray) -> np.ndarray:
+        """Rank-mass accumulators of stream segments add elementwise."""
+        return first + second
+
     def golden(self, keys: np.ndarray, values: np.ndarray) -> np.ndarray:
         """Reference accumulation with the same fixed-point arithmetic."""
         sums = np.zeros(self.num_vertices, dtype=np.int64)

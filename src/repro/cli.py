@@ -16,6 +16,12 @@ Commands
     implementation Ditto would pick.
 ``codegen``
     Emit the OpenCL source set for one implementation to a directory.
+``serve``
+    Run the stream-serving demo: a K-worker pipeline fleet behind the
+    skew-aware balancer processing a multi-tenant job mix.
+``submit``
+    One-shot job submission: run a single stream job through the service
+    and print its result and the fleet metrics.
 """
 
 from __future__ import annotations
@@ -175,6 +181,107 @@ def cmd_codegen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_for(args: argparse.Namespace):
+    from repro.service import StreamService
+
+    return StreamService(workers=args.workers, balancer=args.balancer)
+
+
+def _zipf_source(app: str, alpha: float, tuples: int, seed: int,
+                 chunk: int = 4000, vertices: int = 4096):
+    """A line-rate chunked Zipf source (edge stream for pagerank)."""
+    from repro.workloads.streams import chunk_stream
+    from repro.workloads.tuples import TupleBatch
+    from repro.workloads.zipf import ZipfGenerator
+
+    batch = ZipfGenerator(alpha=alpha, seed=seed).generate(tuples)
+    if app == "pagerank":
+        rng = np.random.default_rng(seed)
+        batch = TupleBatch(
+            keys=batch.keys % np.uint64(vertices),
+            values=rng.integers(0, vertices, size=tuples, dtype=np.int64),
+        )
+    return chunk_stream(batch, chunk)
+
+
+def _summarize_job(service, job_id: str) -> None:
+    status = service.poll(job_id)
+    print(f"job {job_id:<12} app={status['app']:<8} "
+          f"status={status['status']:<9} "
+          f"segments={status['segments_done']}", end="")
+    if status["status"] == "completed":
+        result = service.result(job_id)
+        print(f" tuples={result.tuples:,} "
+              f"t/c={result.tuples_per_cycle:.3f}")
+    else:
+        print(f" error={status['error']}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the serving fleet over a demo job mix (or one histo feed)."""
+    service = _service_for(args)
+    window = args.window_us * 1e-6
+    if args.demo:
+        # A multi-tenant mix: priorities and deadlines exercise the
+        # admission queue; apps exercise every streaming kernel.
+        jobs = [
+            service.submit("hll", _zipf_source("hll", 0.8, args.tuples,
+                                               args.seed + 1),
+                           priority=5, window_seconds=window),
+            service.submit("histo", _zipf_source("histo", args.alpha,
+                                                 args.tuples, args.seed),
+                           priority=1, deadline=2e-3,
+                           window_seconds=window),
+            service.submit("hhd", _zipf_source("hhd", 2.0, args.tuples,
+                                               args.seed + 2),
+                           priority=1, deadline=1e-3,
+                           window_seconds=window),
+            service.submit("dp", _zipf_source("dp", args.alpha,
+                                              args.tuples, args.seed + 3),
+                           window_seconds=window),
+        ]
+    else:
+        jobs = [
+            service.submit("histo", _zipf_source("histo", args.alpha,
+                                                 args.tuples, args.seed),
+                           window_seconds=window),
+        ]
+    served = service.run()
+    print(f"served {served} jobs on {args.workers} workers "
+          f"[{service.balancer.describe()}]\n")
+    for job_id in jobs:
+        _summarize_job(service, job_id)
+    print()
+    print(service.metrics.render())
+    failed = any(service.poll(job_id)["status"] != "completed"
+                 for job_id in jobs)
+    service.shutdown()
+    return 1 if failed else 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job, serve it, and print the outcome."""
+    service = _service_for(args)
+    params = {"num_vertices": args.vertices} if args.app == "pagerank" \
+        else None
+    job_id = service.submit(
+        args.app,
+        _zipf_source(args.app, args.alpha, args.tuples, args.seed,
+                     vertices=args.vertices),
+        priority=args.priority,
+        deadline=args.deadline,
+        window_seconds=args.window_us * 1e-6,
+        params=params,
+    )
+    service.run()
+    _summarize_job(service, job_id)
+    print()
+    print(service.metrics.render())
+    failed = service.poll(job_id)["status"] != "completed"
+    service.shutdown()
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for the tests)."""
     parser = argparse.ArgumentParser(
@@ -218,6 +325,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--secpes", type=int, default=4)
     p.add_argument("--output", default="generated")
     p.set_defaults(func=cmd_codegen)
+
+    def positive(kind):
+        def parse(text: str):
+            value = kind(text)
+            if value <= 0:
+                raise argparse.ArgumentTypeError(
+                    f"must be a positive {kind.__name__}")
+            return value
+        return parse
+
+    def add_service_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=positive(int), default=4,
+                       help="pipeline fleet size K")
+        p.add_argument("--balancer", default="skew",
+                       choices=["skew", "roundrobin"])
+        p.add_argument("--alpha", type=float, default=1.5)
+        p.add_argument("--tuples", type=positive(int), default=16_000)
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--window-us", type=positive(float), default=2.56,
+                       help="event-time window width in microseconds")
+
+    p = sub.add_parser("serve", help="run the stream-serving fleet")
+    add_service_options(p)
+    p.add_argument("--demo", action="store_true",
+                   help="serve a multi-tenant mix across the apps")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="one-shot job through the service")
+    add_service_options(p)
+    p.add_argument("--app", default="histo",
+                   choices=["histo", "dp", "hll", "hhd", "pagerank"])
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="event-time deadline in seconds (EDF tiebreak)")
+    p.add_argument("--vertices", type=int, default=4096,
+                   help="graph size for pagerank jobs")
+    p.set_defaults(func=cmd_submit)
 
     return parser
 

@@ -31,7 +31,13 @@ from repro.core.mapper import Mapper, MappingState
 from repro.core.merger import Merger
 from repro.core.pe import ProcessingElement
 from repro.core.prepe import PrePE
-from repro.core.profiler import RuntimeProfiler, SchedulingPlan, greedy_secpe_plan
+from repro.core.profiler import (
+    RuntimeProfiler,
+    SchedulingPlan,
+    greedy_secpe_plan,
+    plan_for_destinations,
+    workload_histogram,
+)
 from repro.core.routing import Combiner, FilterDecoder
 
 __all__ = [
@@ -49,4 +55,6 @@ __all__ = [
     "SchedulingPlan",
     "SkewObliviousArchitecture",
     "greedy_secpe_plan",
+    "plan_for_destinations",
+    "workload_histogram",
 ]

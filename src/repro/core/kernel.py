@@ -40,6 +40,15 @@ class KernelSpec(ABC):
     #: Whether SecPE partials can be folded into PriPE buffers.
     decomposable: bool = True
 
+    #: Whether one key's tuples may be processed by *independent* PE
+    #: groups whose results only meet in ``combine_results`` (no merger
+    #: in between).  True for per-tuple reductions (histogram add, HLL
+    #: max, partition extend, rank-mass add); False when per-key state
+    #: must stay together, e.g. heavy-hitter thresholds evaluated on
+    #: each group's private sketch.  The fleet balancer uses this to
+    #: pick tuple-level vs key-level splitting.
+    splittable: bool = True
+
     # ------------------------------------------------------------------
     # Routing (PrePE logic)
     # ------------------------------------------------------------------

@@ -99,6 +99,35 @@ def greedy_secpe_plan(
     return SchedulingPlan(pairs=pairs, workloads=base)
 
 
+def workload_histogram(
+    destinations: Sequence[int], pripes: int
+) -> np.ndarray:
+    """Merged profiling histogram from observed destination IDs.
+
+    This is the host-side equivalent of the profiler's N ``hist``
+    instances after merging: external callers (the fleet-level balancer
+    in :mod:`repro.service`) profile a sample of routed destinations and
+    feed the histogram to :func:`greedy_secpe_plan`.
+    """
+    dst = np.asarray(destinations, dtype=np.int64)
+    if dst.size and (dst.min() < 0 or dst.max() >= pripes):
+        raise ValueError("destination IDs must be in [0, pripes)")
+    return np.bincount(dst, minlength=pripes)
+
+
+def plan_for_destinations(
+    destinations: Sequence[int], secpes: int, pripes: int
+) -> SchedulingPlan:
+    """Profile observed destinations and build the greedy SecPE plan.
+
+    Convenience wrapper exposing the profiler's histogram + greedy-plan
+    machinery to callers outside the cycle simulator.
+    """
+    return greedy_secpe_plan(
+        workload_histogram(destinations, pripes), secpes, pripes
+    )
+
+
 class RuntimeProfiler(Module):
     """The profiler kernel: histogram, plan emission, throughput monitor.
 

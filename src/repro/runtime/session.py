@@ -13,7 +13,7 @@ application (histograms add, HLL registers max-fold, partitions extend).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, List, Optional
 
 from repro.core.architecture import SkewObliviousArchitecture
@@ -75,6 +75,30 @@ class StreamingSession:
         )
         self.history.append(record)
         return record
+
+    def merge_from(self, other: "StreamingSession") -> None:
+        """Fold another session's running result and history into this one.
+
+        The serving layer shards one stream across several workers, each
+        holding a partial :class:`StreamingSession`; the partials merge
+        back into a single session with the same ``combine_results``
+        reduction used between segments.  Histories concatenate and are
+        re-indexed so ``history[i].index == i`` stays true.
+        """
+        if other.kernel.__class__ is not self.kernel.__class__:
+            raise ValueError(
+                "cannot merge sessions of different applications "
+                f"({type(self.kernel).__name__} vs "
+                f"{type(other.kernel).__name__})"
+            )
+        if other.result is not None:
+            if self.result is None:
+                self.result = other.result
+            else:
+                self.result = self.kernel.combine_results(self.result,
+                                                          other.result)
+        for record in other.history:
+            self.history.append(replace(record, index=len(self.history)))
 
     @property
     def total_tuples(self) -> int:

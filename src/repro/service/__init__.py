@@ -1,0 +1,67 @@
+"""Sharded, skew-aware stream-serving layer over the pipeline simulator.
+
+The paper keeps one FPGA pipeline's throughput flat under skew by
+profiling the workload and attaching secondary PEs to hot primary PEs.
+This package lifts the same idea one level up, to a *fleet* of pipeline
+workers serving many clients:
+
+``jobs`` / ``queue``
+    Job model and priority/deadline admission queue (submit one
+    application + one tuple stream per job).
+``windows``
+    Event-time window manager turning each job's stream into closable
+    segments.
+``balancer``
+    Cluster-level skew balancing: key-range sharding with the paper's
+    greedy SecPE plan (reused from :mod:`repro.core.profiler`) attaching
+    secondary workers to hot ranges; plus the naive round-robin baseline.
+``pool``
+    K concurrent pipeline workers with per-(worker, job) streaming
+    sessions.
+``server``
+    The :class:`~repro.service.server.StreamService` façade: submit /
+    poll / result / run.
+``metrics``
+    Deterministic fleet accounting (simulated-cycle makespan).
+"""
+
+from repro.service.balancer import (
+    FleetBalancer,
+    RoundRobinBalancer,
+    SkewAwareBalancer,
+    make_balancer,
+    shard_of_keys,
+)
+from repro.service.jobs import (
+    SERVED_APPS,
+    Job,
+    JobResult,
+    JobStatus,
+    kernel_for,
+)
+from repro.service.metrics import ServiceMetrics, WorkerStats
+from repro.service.pool import WorkItem, WorkerPool
+from repro.service.queue import JobQueue
+from repro.service.server import StreamService
+from repro.service.windows import EventWindow, WindowManager
+
+__all__ = [
+    "SERVED_APPS",
+    "EventWindow",
+    "FleetBalancer",
+    "Job",
+    "JobQueue",
+    "JobResult",
+    "JobStatus",
+    "RoundRobinBalancer",
+    "ServiceMetrics",
+    "SkewAwareBalancer",
+    "StreamService",
+    "WindowManager",
+    "WorkItem",
+    "WorkerPool",
+    "WorkerStats",
+    "kernel_for",
+    "make_balancer",
+    "shard_of_keys",
+]

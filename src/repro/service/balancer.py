@@ -1,0 +1,207 @@
+"""Cluster-level skew balancers: key-ranges -> pipeline workers.
+
+This is the paper's PriPE/SecPE scheduling lifted one level up.  Inside
+one FPGA the runtime profiler histograms per-PriPE workloads and greedily
+attaches SecPEs to the hottest PriPEs (Fig. 5); at fleet level the same
+histogram + greedy plan (reused directly from
+:mod:`repro.core.profiler`) attaches *secondary workers* to the hottest
+key-ranges:
+
+* ``M = workers - secondaries`` **primary workers** each own one key
+  shard (a hash range of the key space, hashed independently of the
+  kernels' on-chip routing so fleet and on-chip imbalance don't alias).
+* ``X = secondaries`` **secondary workers** are floating capacity.  Each
+  profiling round builds a shard histogram from the observed keys and
+  runs :func:`~repro.core.profiler.greedy_secpe_plan`; a hot shard's
+  tuples are then round-robined across its primary plus the attached
+  secondaries — exactly the even-share assumption the greedy plan makes.
+
+:class:`RoundRobinBalancer` is the naive baseline: all ``K`` workers are
+primaries with a static ``shard -> shard mod K`` assignment and no
+profiling, the fleet analogue of the skew-oblivious-less data-routing
+design the paper improves on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.profiler import SchedulingPlan, plan_for_destinations
+from repro.hashing.murmur3 import murmur3_32_array
+from repro.workloads.tuples import TupleBatch
+
+#: Hash seed for fleet sharding — distinct from any kernel's on-chip
+#: routing hash so a fleet shard does not collapse onto one PriPE.
+FLEET_SHARD_SEED = 0x51EE7
+
+
+def shard_of_keys(keys: np.ndarray, shards: int,
+                  seed: int = FLEET_SHARD_SEED) -> np.ndarray:
+    """Fleet shard ID of each key (murmur3 over the raw key)."""
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    hashed = murmur3_32_array(np.asarray(keys, dtype=np.uint64), seed=seed)
+    return (hashed % np.uint32(shards)).astype(np.int64)
+
+
+class FleetBalancer(ABC):
+    """Splits each stream segment across the worker pool."""
+
+    def __init__(self, workers: int) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self.rebalances = 0
+
+    def observe(self, keys: np.ndarray) -> None:
+        """Profile a sample of keys before splitting a segment."""
+
+    @abstractmethod
+    def split(self, batch: TupleBatch,
+              by_key: bool = False) -> Dict[int, TupleBatch]:
+        """Partition ``batch`` into per-worker sub-batches.
+
+        ``by_key=True`` guarantees one key's tuples all land on the
+        same worker (required by non-``splittable`` kernels such as
+        heavy-hitter detection, whose per-key state cannot be diluted
+        across independent sketches).
+        """
+
+    def describe(self) -> str:
+        """One-line summary for logs and metrics renderings."""
+        return type(self).__name__
+
+
+class RoundRobinBalancer(FleetBalancer):
+    """Static hash sharding: shard ``s`` always goes to worker ``s``.
+
+    Every worker is a primary owning one fixed key range.  Under skew the
+    worker owning the hot range becomes the fleet bottleneck — the
+    cluster-level rendition of Fig. 2's overloaded PriPE.
+    """
+
+    def split(self, batch: TupleBatch,
+              by_key: bool = False) -> Dict[int, TupleBatch]:
+        # Static sharding is already per-key: a key's shard never moves.
+        shards = shard_of_keys(batch.keys, self.workers)
+        out: Dict[int, TupleBatch] = {}
+        for worker in range(self.workers):
+            mask = shards == worker
+            if mask.any():
+                out[worker] = TupleBatch(batch.keys[mask],
+                                         batch.values[mask],
+                                         batch.tuple_bytes)
+        return out
+
+    def describe(self) -> str:
+        return f"round-robin sharding ({self.workers} static ranges)"
+
+
+class SkewAwareBalancer(FleetBalancer):
+    """Profiled greedy balancing (the paper's Fig. 5 plan, fleet-level).
+
+    Parameters
+    ----------
+    workers:
+        Total pipeline workers K.
+    secondaries:
+        X — floating helper workers; defaults to ``max(1, K // 4)``
+        (0 for a single-worker fleet, which degenerates to static
+        sharding).  The remaining ``M = K - X`` workers anchor the key
+        shards.
+    profile_sample:
+        Keys profiled per segment before (re)planning; the paper samples
+        a short profiling window rather than the full stream.
+    """
+
+    def __init__(self, workers: int, secondaries: Optional[int] = None,
+                 profile_sample: int = 4096) -> None:
+        super().__init__(workers)
+        if secondaries is None:
+            secondaries = max(1, workers // 4) if workers > 1 else 0
+        if not 0 <= secondaries < workers:
+            raise ValueError(
+                "secondaries must leave at least one primary worker")
+        if profile_sample <= 0:
+            raise ValueError("profile_sample must be positive")
+        self.primaries = workers - secondaries
+        self.secondaries = secondaries
+        self.profile_sample = profile_sample
+        self.plan: Optional[SchedulingPlan] = None
+        self._teams: List[List[int]] = [
+            [p] for p in range(self.primaries)
+        ]
+
+    def observe(self, keys: np.ndarray) -> None:
+        """Histogram a key sample and refresh the greedy helper plan."""
+        if len(keys) == 0:
+            return
+        sample = keys[: self.profile_sample]
+        plan = plan_for_destinations(
+            shard_of_keys(sample, self.primaries),
+            self.secondaries, self.primaries,
+        )
+        if self.plan is not None and plan.pairs != self.plan.pairs:
+            self.rebalances += 1
+        self.plan = plan
+        # Worker IDs: primaries are 0..M-1; the plan's SecPE IDs M..M+X-1
+        # map one-to-one onto the secondary workers.
+        teams: List[List[int]] = [[p] for p in range(self.primaries)]
+        for secpe_id, target in plan.pairs:
+            teams[target].append(secpe_id)
+        self._teams = teams
+
+    def team_of(self, primary: int) -> List[int]:
+        """Workers currently serving one primary shard."""
+        return list(self._teams[primary])
+
+    #: Seed for intra-team key spreading; distinct from the shard seed
+    #: so a shard's keys do not all collapse onto one team lane.
+    TEAM_SEED = 0x7EA12
+
+    def split(self, batch: TupleBatch,
+              by_key: bool = False) -> Dict[int, TupleBatch]:
+        shards = shard_of_keys(batch.keys, self.primaries)
+        out: Dict[int, TupleBatch] = {}
+        for primary in range(self.primaries):
+            positions = np.nonzero(shards == primary)[0]
+            if positions.size == 0:
+                continue
+            team = self._teams[primary]
+            if by_key and len(team) > 1:
+                # Keep each key whole: spread the shard's *keys* (not
+                # tuples) across the team.  A single mega-hot key then
+                # stays on one worker — correct results first, with
+                # balancing limited to the key granularity.
+                lanes = shard_of_keys(batch.keys[positions], len(team),
+                                      seed=self.TEAM_SEED)
+            else:
+                lanes = None
+            for lane, worker in enumerate(team):
+                if lanes is None:
+                    chosen = positions[lane::len(team)]
+                else:
+                    chosen = positions[lanes == lane]
+                if chosen.size == 0:
+                    continue
+                out[worker] = TupleBatch(batch.keys[chosen],
+                                         batch.values[chosen],
+                                         batch.tuple_bytes)
+        return out
+
+    def describe(self) -> str:
+        return (f"skew-aware ({self.primaries} primary + "
+                f"{self.secondaries} secondary workers, "
+                f"{self.rebalances} rebalances)")
+
+
+def make_balancer(name: str, workers: int, **kwargs) -> FleetBalancer:
+    """Balancer factory used by the service façade and the CLI."""
+    if name in ("skew", "skew-aware"):
+        return SkewAwareBalancer(workers, **kwargs)
+    if name in ("rr", "roundrobin", "round-robin"):
+        return RoundRobinBalancer(workers)
+    raise ValueError(f"unknown balancer {name!r} (skew | roundrobin)")

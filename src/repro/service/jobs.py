@@ -1,0 +1,195 @@
+"""Job model for the stream-serving layer.
+
+A *job* is one client's request to run one application over one tuple
+stream: "compute a running histogram over this feed, windowed every
+4 microseconds, priority 5, results needed by t=2ms".  Jobs are the unit
+of admission (the :class:`~repro.service.queue.JobQueue` orders them),
+of isolation (each job gets its own event-time window manager and its
+own per-worker :class:`~repro.runtime.session.StreamingSession`s), and
+of accounting (the :class:`JobResult` carries the merged application
+result plus the fleet-side throughput record).
+
+The job/submission shape follows the executor architectures in the
+related work (ModelOps job submission, OpenDT's worker service) scaled
+down to an in-process service.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.kernel import KernelSpec
+from repro.runtime.session import SegmentOutcome
+from repro.workloads.streams import TimestampedBatch
+
+#: Applications a job may request, in the paper's Table I naming.
+SERVED_APPS = ("histo", "dp", "hll", "hhd", "pagerank")
+
+_job_counter = itertools.count()
+
+
+def kernel_class_for(app: str) -> type:
+    """The :class:`KernelSpec` subclass serving ``app``, uninstantiated.
+
+    For contract lookups (e.g. the class-level ``splittable`` flag)
+    that must not pay kernel construction costs.
+    """
+    if app == "histo":
+        from repro.apps.histo import HistogramKernel
+        return HistogramKernel
+    if app == "dp":
+        from repro.apps.partition import PartitionKernel
+        return PartitionKernel
+    if app == "hll":
+        from repro.apps.hyperloglog import HyperLogLogKernel
+        return HyperLogLogKernel
+    if app == "hhd":
+        from repro.apps.heavy_hitter import HeavyHitterKernel
+        return HeavyHitterKernel
+    if app == "pagerank":
+        from repro.apps.pagerank import PageRankKernel
+        return PageRankKernel
+    raise ValueError(
+        f"unknown application {app!r}; served apps: {SERVED_APPS}")
+
+
+def kernel_for(app: str, pripes: int,
+               params: Optional[Dict[str, Any]] = None) -> KernelSpec:
+    """Build a fresh kernel instance for one job on one worker.
+
+    Every (worker, job) pair gets its *own* kernel object so worker
+    threads never share mutable kernel state.  ``params`` carries the
+    per-application knobs a client may tune at submission time.
+    """
+    params = dict(params or {})
+    if app == "histo":
+        from repro.apps.histo import HistogramKernel
+
+        return HistogramKernel(bins=params.get("bins", 1024),
+                               pripes=pripes)
+    if app == "dp":
+        from repro.apps.partition import PartitionKernel
+
+        return PartitionKernel(
+            radix_bits_count=params.get("radix_bits", 6), pripes=pripes)
+    if app == "hll":
+        from repro.apps.hyperloglog import HyperLogLogKernel
+
+        return HyperLogLogKernel(precision=params.get("precision", 12),
+                                 pripes=pripes)
+    if app == "hhd":
+        from repro.apps.heavy_hitter import HeavyHitterKernel
+
+        return HeavyHitterKernel(
+            threshold=params.get("threshold", 256),
+            track_fraction=params.get("track_fraction", 0.25),
+            pripes=pripes,
+        )
+    if app == "pagerank":
+        from repro.apps.pagerank import PageRankKernel, to_fixed
+
+        if "num_vertices" not in params:
+            raise ValueError("pagerank jobs require params['num_vertices']")
+        vertices = int(params["num_vertices"])
+        kernel = PageRankKernel(vertices, pripes=pripes)
+        contributions = params.get("contributions")
+        if contributions is None:
+            # One scatter pass from uniform ranks (a PR iteration's
+            # gather half); iterative drivers install real contributions.
+            contributions = np.full(
+                vertices, to_fixed(1.0 / vertices), dtype=np.int64)
+        kernel.set_contributions(np.asarray(contributions, dtype=np.int64))
+        return kernel
+    raise ValueError(
+        f"unknown application {app!r}; served apps: {SERVED_APPS}")
+
+
+class JobStatus(str, Enum):
+    """Lifecycle of a job inside the service."""
+
+    PENDING = "pending"        # accepted, waiting in the queue
+    RUNNING = "running"        # windows being dispatched / processed
+    COMPLETED = "completed"    # result available
+    FAILED = "failed"          # a worker raised; see Job.error
+    CANCELLED = "cancelled"    # withdrawn before it ran
+
+
+@dataclass
+class Job:
+    """One submitted stream-processing request.
+
+    Attributes
+    ----------
+    job_id:
+        Service-assigned identifier (``job-<n>`` unless the client names
+        it).
+    app:
+        Application short name (one of :data:`SERVED_APPS`).
+    source:
+        Iterable of :class:`TimestampedBatch` — the job's tuple stream.
+    priority:
+        Larger runs earlier (strict; ties broken by deadline then FIFO).
+    deadline:
+        Event-time seconds by which the client wants results; used as the
+        earliest-deadline-first tiebreak within a priority level.
+    window_seconds:
+        Event-time width of this job's aggregation windows.
+    params:
+        Application knobs forwarded to :func:`kernel_for`.
+    """
+
+    app: str
+    source: Iterable[TimestampedBatch]
+    priority: int = 0
+    deadline: Optional[float] = None
+    window_seconds: float = 4e-6
+    params: Dict[str, Any] = field(default_factory=dict)
+    job_id: str = ""
+    status: JobStatus = JobStatus.PENDING
+    error: Optional[str] = None
+    seq: int = field(default_factory=lambda: next(_job_counter))
+    result: Any = None
+    history: List[SegmentOutcome] = field(default_factory=list)
+    windows_dispatched: int = 0
+    late_tuples: int = 0
+
+    def __post_init__(self) -> None:
+        if self.app not in SERVED_APPS:
+            raise ValueError(
+                f"unknown application {self.app!r}; "
+                f"served apps: {SERVED_APPS}")
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if self.deadline is not None and self.deadline < 0:
+            raise ValueError("deadline must be non-negative")
+        if not self.job_id:
+            self.job_id = f"job-{self.seq}"
+
+    def sort_key(self) -> tuple:
+        """Queue ordering: priority desc, deadline asc, submission FIFO."""
+        deadline = math.inf if self.deadline is None else self.deadline
+        return (-self.priority, deadline, self.seq)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """What a client gets back for a completed job."""
+
+    job_id: str
+    app: str
+    result: Any
+    tuples: int
+    cycles: int
+    segments: int
+    late_tuples: int
+
+    @property
+    def tuples_per_cycle(self) -> float:
+        """Job-wide sustained throughput (per participating pipeline)."""
+        return self.tuples / self.cycles if self.cycles else 0.0

@@ -1,0 +1,133 @@
+"""Service-level observability: per-worker throughput, queues, rebalances.
+
+All counters are in *simulated* kernel cycles, not Python wall time: the
+worker threads interleave on the host, but each pipeline instance's cycle
+count is deterministic, so the fleet makespan — the cycles of the
+busiest worker, since real workers run in parallel — is the meaningful
+(and reproducible) throughput denominator.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class WorkerStats:
+    """Cumulative load of one pipeline worker."""
+
+    segments: int = 0
+    tuples: int = 0
+    cycles: int = 0
+
+    @property
+    def tuples_per_cycle(self) -> float:
+        return self.tuples / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class ServiceMetrics:
+    """Thread-safe counters for one :class:`~repro.service.server.StreamService`."""
+
+    workers: Dict[int, WorkerStats] = field(default_factory=dict)
+    windows_closed: int = 0
+    tuples_windowed: int = 0
+    late_tuples: int = 0
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_cancelled: int = 0
+    rebalances: int = 0
+    queue_depth_samples: List[int] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def record_segment(self, worker: int, tuples: int, cycles: int) -> None:
+        with self._lock:
+            stats = self.workers.setdefault(worker, WorkerStats())
+            stats.segments += 1
+            stats.tuples += tuples
+            stats.cycles += cycles
+
+    def record_window(self, tuples: int) -> None:
+        with self._lock:
+            self.windows_closed += 1
+            self.tuples_windowed += tuples
+
+    def record_late(self, tuples: int) -> None:
+        with self._lock:
+            self.late_tuples += tuples
+
+    def sample_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depth_samples.append(depth)
+
+    # ------------------------------------------------------------------
+    # Fleet-level aggregates
+    # ------------------------------------------------------------------
+    def total_tuples(self) -> int:
+        with self._lock:
+            return sum(stats.tuples for stats in self.workers.values())
+
+    def makespan_cycles(self) -> int:
+        """Cycles of the busiest worker — the fleet completion time."""
+        with self._lock:
+            if not self.workers:
+                return 0
+            return max(stats.cycles for stats in self.workers.values())
+
+    def fleet_throughput(self) -> float:
+        """Fleet tuples per cycle: total work over the busiest worker.
+
+        This is the cluster analogue of the paper's tuples/cycle metric —
+        a perfectly balanced fleet of K workers approaches K times one
+        pipeline's rate, a skewed one collapses to the hot worker's.
+        """
+        makespan = self.makespan_cycles()
+        return self.total_tuples() / makespan if makespan else 0.0
+
+    def imbalance(self) -> float:
+        """Max/mean worker cycles (1.0 = perfectly balanced)."""
+        with self._lock:
+            cycles = [stats.cycles for stats in self.workers.values()]
+        if not cycles or sum(cycles) == 0:
+            return 1.0
+        return max(cycles) / (sum(cycles) / len(cycles))
+
+    def render(self) -> str:
+        """Human-readable summary (the CLI's ``serve`` report)."""
+        from repro.analysis.tables import Table
+
+        table = Table(
+            ["worker", "segments", "tuples", "cycles", "tuples/cycle"],
+            title="Per-worker load",
+        )
+        with self._lock:
+            for worker in sorted(self.workers):
+                stats = self.workers[worker]
+                table.add_row([
+                    worker, stats.segments, f"{stats.tuples:,}",
+                    f"{stats.cycles:,}", f"{stats.tuples_per_cycle:.3f}",
+                ])
+        lines = [table.render()]
+        lines.append(
+            f"fleet throughput : {self.fleet_throughput():.3f} tuples/cycle "
+            f"(makespan {self.makespan_cycles():,} cycles, "
+            f"imbalance {self.imbalance():.2f}x)")
+        lines.append(
+            f"windows closed   : {self.windows_closed} "
+            f"({self.tuples_windowed:,} tuples)  "
+            f"late tuples: {self.late_tuples}")
+        lines.append(
+            f"jobs             : {self.jobs_completed} completed / "
+            f"{self.jobs_failed} failed / {self.jobs_cancelled} cancelled "
+            f"of {self.jobs_submitted} submitted")
+        lines.append(f"rebalances       : {self.rebalances}")
+        if self.queue_depth_samples:
+            lines.append(
+                f"queue depth      : peak "
+                f"{max(self.queue_depth_samples)}, last "
+                f"{self.queue_depth_samples[-1]}")
+        return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Sharded worker pool: K concurrent pipeline instances.
+
+Each worker is a daemon thread owning a FIFO of :class:`WorkItem`s and a
+per-job :class:`~repro.runtime.session.StreamingSession` (so one worker
+accumulates its shard of every job it touches across windows — session
+reuse is what makes per-window dispatch cheap).  The pool mirrors the
+warm-pool executor shape from the ModelOps related work: workers stay
+up across jobs, work routing is the balancer's problem, and partial
+results merge on collection.
+
+Worker concurrency is real (threads), but throughput accounting is in
+deterministic simulated cycles — see :mod:`repro.service.metrics`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.runtime.session import StreamingSession
+from repro.workloads.tuples import TupleBatch
+
+#: Sentinel shutting a worker thread down.
+_STOP = object()
+
+
+@dataclass
+class WorkItem:
+    """One worker's shard of one closed window."""
+
+    job_id: str
+    batch: TupleBatch
+
+
+class _Worker(threading.Thread):
+    """One pipeline worker draining its private work queue."""
+
+    def __init__(self, worker_id: int, pool: "WorkerPool") -> None:
+        super().__init__(name=f"pipeline-worker-{worker_id}", daemon=True)
+        self.worker_id = worker_id
+        self.pool = pool
+        self.inbox: "queue.Queue" = queue.Queue()
+
+    def run(self) -> None:
+        while True:
+            item = self.inbox.get()
+            if item is _STOP:
+                self.inbox.task_done()
+                return
+            try:
+                self._process(item)
+            except Exception as exc:  # noqa: BLE001 — reported to the pool
+                self.pool._record_error(item.job_id, exc)
+            finally:
+                self.inbox.task_done()
+
+    def _process(self, item: WorkItem) -> None:
+        if len(item.batch) == 0:
+            return
+        session = self.pool._session(self.worker_id, item.job_id)
+        outcome = session.process(item.batch)
+        self.pool.metrics.record_segment(
+            self.worker_id, outcome.tuples, outcome.cycles)
+
+
+class WorkerPool:
+    """K pipeline workers with per-(worker, job) streaming sessions.
+
+    Parameters
+    ----------
+    workers:
+        Fleet size K.
+    session_factory:
+        ``job_id -> StreamingSession`` building a fresh session (with its
+        own kernel instance) the first time a worker sees a job.
+    metrics:
+        Shared :class:`~repro.service.metrics.ServiceMetrics`.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        session_factory: Callable[[str], StreamingSession],
+        metrics,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.size = workers
+        self.session_factory = session_factory
+        self.metrics = metrics
+        self._workers = [_Worker(i, self) for i in range(workers)]
+        self._sessions: Dict[Tuple[int, str], StreamingSession] = {}
+        self._errors: Dict[str, List[str]] = {}
+        self._lock = threading.Lock()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        # Threads are single-use: after a stop(), build a fresh set so
+        # the pool (and hence the service) can be restarted.
+        if any(worker.ident is not None for worker in self._workers):
+            self._workers = [_Worker(i, self) for i in range(self.size)]
+        self._started = True
+        for worker in self._workers:
+            worker.start()
+
+    def stop(self) -> None:
+        """Drain outstanding work, then stop every worker thread."""
+        if not self._started:
+            return
+        for worker in self._workers:
+            worker.inbox.put(_STOP)
+        for worker in self._workers:
+            worker.join(timeout=60.0)
+        hung = [w.worker_id for w in self._workers if w.is_alive()]
+        if hung:
+            # Surface the hang instead of letting a zombie worker keep
+            # writing into shared metrics after a restart.
+            raise RuntimeError(
+                f"workers {hung} did not stop within 60s "
+                "(segment exceeding its cycle budget?)")
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, worker_id: int, item: WorkItem) -> None:
+        """Queue one shard onto one worker."""
+        if not 0 <= worker_id < self.size:
+            raise ValueError(f"no such worker {worker_id}")
+        if not self._started:
+            raise RuntimeError("pool is not running; call start() first")
+        self._workers[worker_id].inbox.put(item)
+
+    def drain(self) -> None:
+        """Block until every dispatched item has been processed."""
+        for worker in self._workers:
+            worker.inbox.join()
+
+    # ------------------------------------------------------------------
+    # Session management and collection
+    # ------------------------------------------------------------------
+    def _session(self, worker_id: int, job_id: str) -> StreamingSession:
+        key = (worker_id, job_id)
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is None:
+                session = self.session_factory(job_id)
+                self._sessions[key] = session
+            return session
+
+    def _record_error(self, job_id: str, exc: Exception) -> None:
+        with self._lock:
+            self._errors.setdefault(job_id, []).append(
+                "".join(traceback.format_exception_only(type(exc), exc))
+                .strip()
+            )
+
+    def errors(self, job_id: str) -> List[str]:
+        with self._lock:
+            return list(self._errors.get(job_id, []))
+
+    def collect(self, job_id: str) -> Optional[StreamingSession]:
+        """Merge the per-worker partial sessions of one finished job.
+
+        Call only after :meth:`drain`.  Returns None if no worker
+        processed any tuple for the job.  The per-worker sessions are
+        released, so collection is one-shot.
+        """
+        partials: List[StreamingSession] = []
+        with self._lock:
+            for worker_id in range(self.size):
+                partial = self._sessions.pop((worker_id, job_id), None)
+                if partial is not None and partial.history:
+                    partials.append(partial)
+        if not partials:
+            return None
+        merged = self.session_factory(job_id)
+        for partial in partials:
+            merged.merge_from(partial)
+        return merged

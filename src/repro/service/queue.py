@@ -1,0 +1,81 @@
+"""In-memory job admission queue.
+
+Ordering is strict-priority first (a paying tenant's feed preempts batch
+backfill), earliest-deadline-first within a priority level, and FIFO as
+the final tiebreak.  The queue is thread-safe so ingest threads can
+submit while the dispatcher drains.
+
+Cancellation is lazy, the standard ``heapq`` idiom: cancelled entries
+stay in the heap but are skipped at pop time, so cancel is O(1) and pop
+stays O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.jobs import Job, JobStatus
+
+
+class JobQueue:
+    """Thread-safe priority queue of :class:`~repro.service.jobs.Job`."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[tuple, Job]] = []
+        self._entries: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    def submit(self, job: Job) -> None:
+        """Admit a job; it becomes visible to ``pop`` immediately."""
+        with self._not_empty:
+            if job.job_id in self._entries:
+                raise ValueError(f"duplicate job id {job.job_id!r}")
+            self._entries[job.job_id] = job
+            heapq.heappush(self._heap, (job.sort_key(), job))
+            self._not_empty.notify()
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw a queued job.  Returns False if it already left."""
+        with self._lock:
+            job = self._entries.get(job_id)
+            if job is None or job.status is not JobStatus.PENDING:
+                return False
+            job.status = JobStatus.CANCELLED
+            return True
+
+    def pop(self, timeout: Optional[float] = 0.0) -> Optional[Job]:
+        """Next runnable job, or None if the queue stays empty.
+
+        ``timeout=0`` polls; ``timeout=None`` blocks until a job arrives.
+        """
+        with self._not_empty:
+            while True:
+                job = self._pop_runnable()
+                if job is not None:
+                    return job
+                if timeout == 0.0:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return self._pop_runnable()
+
+    def _pop_runnable(self) -> Optional[Job]:
+        while self._heap:
+            _, job = heapq.heappop(self._heap)
+            del self._entries[job.job_id]
+            if job.status is JobStatus.PENDING:
+                return job
+        return None
+
+    def depth(self) -> int:
+        """Jobs currently waiting (excluding lazily-cancelled entries)."""
+        with self._lock:
+            return sum(
+                1 for job in self._entries.values()
+                if job.status is JobStatus.PENDING
+            )
+
+    def __len__(self) -> int:
+        return self.depth()

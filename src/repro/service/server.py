@@ -1,0 +1,252 @@
+"""The stream-serving façade: submit / poll / result over a worker fleet.
+
+:class:`StreamService` glues the subsystem together:
+
+.. code-block:: text
+
+    client ──submit──> JobQueue ──pop──> dispatcher
+                                           │ per job
+                                           ▼
+                                     WindowManager ──closed windows──┐
+                                                                     ▼
+                        FleetBalancer (profile + greedy plan) ── split
+                                                                     │
+               ┌───────────────┬───────────────┬─────────────────────┘
+               ▼               ▼               ▼
+          worker 0        worker 1   ...  worker K-1      (WorkerPool)
+        StreamingSession per (worker, job); partials merge on completion
+
+Jobs run one at a time in queue order (priority, then deadline, then
+FIFO) with each job's windows sharded across the whole fleet; that keeps
+the fleet-throughput accounting crisp while the queue provides the
+multi-tenant admission control.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Union
+
+import numpy as np
+
+from repro.core.config import ArchitectureConfig
+from repro.runtime.session import StreamingSession
+from repro.service.balancer import FleetBalancer, make_balancer
+from repro.service.jobs import (
+    Job,
+    JobResult,
+    JobStatus,
+    kernel_class_for,
+    kernel_for,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.pool import WorkerPool, WorkItem
+from repro.service.queue import JobQueue
+from repro.service.windows import WindowManager
+from repro.workloads.streams import TimestampedBatch
+
+
+class StreamService:
+    """In-process multi-tenant stream-serving system.
+
+    Parameters
+    ----------
+    workers:
+        Pipeline fleet size K.
+    balancer:
+        ``"skew"`` (default), ``"roundrobin"``, or a ready-made
+        :class:`~repro.service.balancer.FleetBalancer`.
+    config:
+        Per-worker pipeline shape; defaults to the paper's 16-PriPE
+        design without on-chip SecPEs (fleet-level balancing supplies
+        the skew handling).
+    max_cycles_per_segment:
+        Cycle budget for one worker's shard of one window.
+    allowed_lateness:
+        Event-time slack forwarded to every job's window manager.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        balancer: Union[str, FleetBalancer] = "skew",
+        config: Optional[ArchitectureConfig] = None,
+        max_cycles_per_segment: int = 20_000_000,
+        allowed_lateness: float = 0.0,
+    ) -> None:
+        self.config = config or ArchitectureConfig(
+            lanes=8, pripes=16, secpes=0, reschedule_threshold=0.0)
+        if isinstance(balancer, str):
+            balancer = make_balancer(balancer, workers)
+        if balancer.workers != workers:
+            raise ValueError("balancer sized for a different fleet")
+        self.balancer = balancer
+        self.metrics = ServiceMetrics()
+        self.max_cycles_per_segment = max_cycles_per_segment
+        self.allowed_lateness = allowed_lateness
+        self._queue = JobQueue()
+        self._jobs: Dict[str, Job] = {}
+        self._pool = WorkerPool(workers, self._make_session, self.metrics)
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        app: str,
+        source: Iterable[TimestampedBatch],
+        *,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        window_seconds: float = 4e-6,
+        params: Optional[Dict[str, Any]] = None,
+        job_id: Optional[str] = None,
+    ) -> str:
+        """Admit a stream job; returns its job ID."""
+        job = Job(
+            app=app,
+            source=source,
+            priority=priority,
+            deadline=deadline,
+            window_seconds=window_seconds,
+            params=dict(params or {}),
+            job_id=job_id or "",
+        )
+        # Validate application parameters at admission, not deep inside a
+        # worker thread: a bad job must fail fast for the client.
+        kernel_for(job.app, self.config.pripes, job.params)
+        self._jobs[job.job_id] = job
+        self._queue.submit(job)
+        self.metrics.jobs_submitted += 1
+        return job.job_id
+
+    def cancel(self, job_id: str) -> bool:
+        """Withdraw a still-queued job."""
+        cancelled = self._queue.cancel(job_id)
+        if cancelled:
+            self.metrics.jobs_cancelled += 1
+        return cancelled
+
+    def poll(self, job_id: str) -> Dict[str, Any]:
+        """Status snapshot of one job."""
+        job = self._job(job_id)
+        return {
+            "job_id": job.job_id,
+            "app": job.app,
+            "status": job.status.value,
+            "priority": job.priority,
+            "deadline": job.deadline,
+            "windows_dispatched": job.windows_dispatched,
+            "segments_done": len(job.history),
+            "late_tuples": job.late_tuples,
+            "error": job.error,
+        }
+
+    def result(self, job_id: str) -> JobResult:
+        """Completed-job result; raises if the job is not COMPLETED."""
+        job = self._job(job_id)
+        if job.status is not JobStatus.COMPLETED:
+            raise RuntimeError(
+                f"job {job_id} is {job.status.value}, not completed"
+                + (f": {job.error}" if job.error else ""))
+        return JobResult(
+            job_id=job.job_id,
+            app=job.app,
+            result=job.result,
+            tuples=sum(record.tuples for record in job.history),
+            cycles=sum(record.cycles for record in job.history),
+            segments=len(job.history),
+            late_tuples=job.late_tuples,
+        )
+
+    def run(self, max_jobs: Optional[int] = None) -> int:
+        """Serve queued jobs until the queue empties; returns jobs run.
+
+        The dispatcher processes jobs strictly in queue order; each job's
+        windows fan out over the whole worker fleet.
+        """
+        self._pool.start()
+        served = 0
+        while max_jobs is None or served < max_jobs:
+            self.metrics.sample_queue_depth(self._queue.depth())
+            job = self._queue.pop(timeout=0.0)
+            if job is None:
+                break
+            self._run_job(job)
+            served += 1
+        return served
+
+    def shutdown(self) -> None:
+        """Stop the worker fleet (drains outstanding work first)."""
+        self._pool.stop()
+
+    # ------------------------------------------------------------------
+    # Dispatcher internals
+    # ------------------------------------------------------------------
+    def _job(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return job
+
+    def _make_session(self, job_id: str) -> StreamingSession:
+        job = self._job(job_id)
+        return StreamingSession(
+            config=self.config,
+            kernel=kernel_for(job.app, self.config.pripes, job.params),
+            max_cycles_per_segment=self.max_cycles_per_segment,
+        )
+
+    def _run_job(self, job: Job) -> None:
+        job.status = JobStatus.RUNNING
+        windows = WindowManager(job.window_seconds,
+                                allowed_lateness=self.allowed_lateness)
+        # Non-splittable kernels (heavy hitters) need every key's tuples
+        # on one worker; a class-level contract, no kernel built.
+        by_key = not kernel_class_for(job.app).splittable
+        try:
+            for events in job.source:
+                self._dispatch(job, windows.observe(events), by_key)
+            self._dispatch(job, windows.flush(), by_key)
+        except Exception as exc:  # noqa: BLE001 — a bad source fails the job
+            self._pool.drain()
+            self._pool.collect(job.job_id)  # release partial sessions
+            job.late_tuples = windows.late_tuples
+            self.metrics.record_late(windows.late_tuples)
+            self._fail(job, f"source error: {exc}")
+            return
+        self._pool.drain()
+        job.late_tuples = windows.late_tuples
+        self.metrics.record_late(windows.late_tuples)
+        errors = self._pool.errors(job.job_id)
+        if errors:
+            self._pool.collect(job.job_id)  # release partial sessions
+            self._fail(job, "; ".join(errors))
+            return
+        merged = self._pool.collect(job.job_id)
+        if merged is not None:
+            job.result = merged.result
+            job.history = merged.history
+        job.status = JobStatus.COMPLETED
+        self.metrics.jobs_completed += 1
+        self.metrics.rebalances = self.balancer.rebalances
+
+    def _fail(self, job: Job, message: str) -> None:
+        job.status = JobStatus.FAILED
+        job.error = message
+        self.metrics.jobs_failed += 1
+
+    def _dispatch(self, job: Job, closed_windows,
+                  by_key: bool = False) -> None:
+        for window in closed_windows:
+            batch = window.to_batch()
+            if len(batch) == 0:
+                continue
+            self.metrics.record_window(len(batch))
+            self.balancer.observe(np.asarray(batch.keys))
+            shards = self.balancer.split(batch, by_key=by_key)
+            for worker_id, shard in shards.items():
+                self._pool.dispatch(
+                    worker_id,
+                    WorkItem(job_id=job.job_id, batch=shard),
+                )
+            job.windows_dispatched += 1

@@ -1,0 +1,147 @@
+"""Event-time window manager: tuples in, closed segments out.
+
+The serving layer aggregates each job's incoming tuples into fixed-width
+event-time windows (the OpenDT sim-worker's window lifecycle, scaled to
+microsecond FPGA feeds).  A window ``w`` covers
+``[w * size, (w + 1) * size)`` event seconds; the *watermark* is the
+largest event time observed so far, and a window closes once the
+watermark passes its end by ``allowed_lateness``.  Closed windows become
+:class:`~repro.workloads.tuples.TupleBatch` segments that feed the
+pipeline workers through the fleet balancer.
+
+Tuples older than the close cutoff are *late*: they are counted and
+dropped rather than reopening emitted results (a deliberate at-window
+semantics — re-emission would break the per-window accumulation the
+streaming sessions rely on).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.workloads.streams import TimestampedBatch
+from repro.workloads.tuples import TupleBatch
+
+
+@dataclass
+class EventWindow:
+    """One fixed-width event-time window accumulating tuples."""
+
+    index: int
+    start: float
+    end: float
+    closed: bool = False
+    _keys: List[np.ndarray] = field(default_factory=list)
+    _values: List[np.ndarray] = field(default_factory=list)
+
+    def add(self, keys: np.ndarray, values: np.ndarray) -> None:
+        if self.closed:
+            raise RuntimeError(
+                f"window {self.index} is closed; late data must be "
+                "dropped by the manager")
+        self._keys.append(keys)
+        self._values.append(values)
+
+    @property
+    def tuples(self) -> int:
+        return sum(len(chunk) for chunk in self._keys)
+
+    def to_batch(self) -> TupleBatch:
+        """Materialise the window's tuples as one segment batch."""
+        if not self._keys:
+            return TupleBatch(np.zeros(0, dtype=np.uint64),
+                              np.zeros(0, dtype=np.int64))
+        return TupleBatch(np.concatenate(self._keys),
+                          np.concatenate(self._values))
+
+
+class WindowManager:
+    """Groups a timestamped stream into closable event-time windows.
+
+    Parameters
+    ----------
+    window_seconds:
+        Event-time width of each window.
+    allowed_lateness:
+        Extra event-time slack before a window closes; raises tolerance
+        to out-of-order feeds at the cost of result latency.
+    """
+
+    def __init__(self, window_seconds: float,
+                 allowed_lateness: float = 0.0) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if allowed_lateness < 0:
+            raise ValueError("allowed_lateness must be non-negative")
+        self.window_seconds = window_seconds
+        self.allowed_lateness = allowed_lateness
+        self._open: Dict[int, EventWindow] = {}
+        self.watermark = -math.inf
+        self.late_tuples = 0
+        self.windows_closed = 0
+
+    def _window_of(self, timestamps: np.ndarray) -> np.ndarray:
+        return np.floor_divide(timestamps, self.window_seconds).astype(
+            np.int64)
+
+    def _ensure(self, index: int) -> EventWindow:
+        window = self._open.get(index)
+        if window is None:
+            window = EventWindow(
+                index=index,
+                start=index * self.window_seconds,
+                end=(index + 1) * self.window_seconds,
+            )
+            self._open[index] = window
+        return window
+
+    def observe(self, events: TimestampedBatch) -> List[EventWindow]:
+        """Ingest one timestamped batch; return newly closed windows.
+
+        Closed windows come back oldest-first so downstream segment
+        indices stay monotone in event time.
+        """
+        if len(events) == 0:
+            return []
+        ts = events.timestamps
+        indices = self._window_of(ts)
+        cutoff = self._close_cutoff()
+        late = (indices + 1) * self.window_seconds <= cutoff
+        self.late_tuples += int(late.sum())
+        fresh = ~late
+        for index in np.unique(indices[fresh]):
+            mask = fresh & (indices == index)
+            self._ensure(int(index)).add(events.batch.keys[mask],
+                                         events.batch.values[mask])
+        self.watermark = max(self.watermark, float(ts.max()))
+        return self._close_ready()
+
+    def _close_cutoff(self) -> float:
+        return self.watermark - self.allowed_lateness
+
+    def _close_ready(self) -> List[EventWindow]:
+        cutoff = self._close_cutoff()
+        ready = sorted(
+            index for index, window in self._open.items()
+            if window.end <= cutoff
+        )
+        return [self._close(index) for index in ready]
+
+    def _close(self, index: int) -> EventWindow:
+        window = self._open.pop(index)
+        window.closed = True
+        self.windows_closed += 1
+        return window
+
+    def flush(self) -> List[EventWindow]:
+        """End of stream: close every open window, oldest first."""
+        return [self._close(index) for index in sorted(self._open)]
+
+    @property
+    def open_windows(self) -> Tuple[int, ...]:
+        """Indices of currently open windows (diagnostics)."""
+        return tuple(sorted(self._open))

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.apps.heavy_hitter import HeavyHitterKernel
 from repro.apps.histo import HistogramKernel
 from repro.apps.hyperloglog import HyperLogLogKernel
 from repro.apps.partition import PartitionKernel
@@ -46,6 +47,72 @@ class TestHistogramSession:
             assert record.tuples == 3_000
         assert len(session.history) == 3
         assert 0 < session.average_throughput() <= 8.0
+
+    def test_per_segment_throughput_records_are_complete(self):
+        kernel = HistogramKernel(bins=256, pripes=16)
+        session = make_session(kernel, secpes=8, threshold=0.0)
+        record = session.process(
+            ZipfGenerator(alpha=2.0, seed=4).generate(4_000))
+        assert record.cycles > 0
+        assert record.tuples_per_cycle == pytest.approx(
+            record.tuples / record.cycles)
+        assert record.plans >= 1      # skew handling planned at least once
+        assert record.reschedules == 0  # threshold 0 disables monitoring
+        assert session.total_cycles == record.cycles
+
+
+class TestHeavyHitterSession:
+    def test_hitter_estimates_accumulate_across_segments(self):
+        from repro.workloads.tuples import TupleBatch
+
+        kernel = HeavyHitterKernel(threshold=200, pripes=16)
+        session = make_session(kernel)
+        rng = np.random.default_rng(12)
+        for _ in range(3):  # 500 hot + 2000 noise tuples per segment
+            keys = np.concatenate([
+                np.full(500, 0xBEEF, dtype=np.uint64),
+                rng.integers(0, 1 << 32, 2_000, dtype=np.uint64),
+            ])
+            rng.shuffle(keys)
+            session.process(TupleBatch.from_keys(keys))
+        assert 0xBEEF in session.result
+        # Count-min estimates are upper bounds, so their sum is too.
+        assert session.result[0xBEEF] >= 1_500
+
+
+class TestMergeFrom:
+    def test_partial_sessions_merge_like_one_session(self):
+        """Two workers' partial streams merge into the whole-stream
+        result (the serving layer's cross-worker collection path)."""
+        batch = ZipfGenerator(alpha=1.5, seed=21).generate(8_000)
+        kernel = HistogramKernel(bins=256, pripes=16)
+
+        left = make_session(HistogramKernel(bins=256, pripes=16))
+        right = make_session(HistogramKernel(bins=256, pripes=16))
+        left.process(batch.slice(0, 4_000))
+        right.process(batch.slice(4_000, 8_000))
+
+        merged = make_session(HistogramKernel(bins=256, pripes=16))
+        merged.merge_from(left)
+        merged.merge_from(right)
+
+        golden = kernel.golden(batch.keys, batch.values)
+        assert np.array_equal(merged.result, golden)
+        assert merged.total_tuples == 8_000
+        assert [r.index for r in merged.history] == [0, 1]
+
+    def test_merge_into_empty_adopts_result(self):
+        source = make_session(HistogramKernel(bins=256, pripes=16))
+        source.process(ZipfGenerator(alpha=0.5, seed=2).generate(2_000))
+        empty = make_session(HistogramKernel(bins=256, pripes=16))
+        empty.merge_from(source)
+        assert np.array_equal(empty.result, source.result)
+
+    def test_cross_application_merge_rejected(self):
+        histo = make_session(HistogramKernel(bins=256, pripes=16))
+        hll = make_session(HyperLogLogKernel(precision=10, pripes=16))
+        with pytest.raises(ValueError, match="different applications"):
+            histo.merge_from(hll)
 
 
 class TestHLLSession:

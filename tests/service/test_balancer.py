@@ -1,0 +1,147 @@
+"""Fleet balancers: sharding invariants and the greedy helper plan."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import plan_for_destinations, workload_histogram
+from repro.service.balancer import (
+    RoundRobinBalancer,
+    SkewAwareBalancer,
+    make_balancer,
+    shard_of_keys,
+)
+from repro.workloads.tuples import TupleBatch
+from repro.workloads.zipf import ZipfGenerator
+
+
+def multiset(batch: TupleBatch):
+    return sorted(zip(batch.keys.tolist(), batch.values.tolist()))
+
+
+def split_conserves_tuples(balancer, batch):
+    parts = balancer.split(batch)
+    combined = []
+    for part in parts.values():
+        combined.extend(multiset(part))
+    assert sorted(combined) == multiset(batch)
+    return parts
+
+
+class TestSharding:
+    def test_shards_cover_range_and_are_deterministic(self):
+        keys = np.arange(10_000, dtype=np.uint64)
+        shards = shard_of_keys(keys, 7)
+        assert shards.min() >= 0 and shards.max() < 7
+        assert np.array_equal(shards, shard_of_keys(keys, 7))
+
+    def test_sharding_independent_of_low_key_bits(self):
+        """Fleet sharding must not alias the kernels' `key % M` routing:
+        consecutive keys (identical high bits) should spread widely."""
+        keys = np.arange(64, dtype=np.uint64)
+        assert len(np.unique(shard_of_keys(keys, 4))) == 4
+
+
+class TestRoundRobin:
+    def test_split_covers_all_workers_on_uniform_keys(self):
+        balancer = RoundRobinBalancer(4)
+        batch = ZipfGenerator(alpha=0.0, seed=3).generate(4_000)
+        parts = split_conserves_tuples(balancer, batch)
+        assert set(parts) == {0, 1, 2, 3}
+
+    def test_static_assignment_keeps_keys_on_one_worker(self):
+        balancer = RoundRobinBalancer(4)
+        batch = TupleBatch.from_keys(
+            np.full(100, 0xABCD, dtype=np.uint64))
+        parts = balancer.split(batch)
+        assert len(parts) == 1  # one key -> exactly one worker
+
+
+class TestSkewAware:
+    def test_defaults_reserve_secondaries(self):
+        balancer = SkewAwareBalancer(8)
+        assert balancer.primaries == 6
+        assert balancer.secondaries == 2
+        with pytest.raises(ValueError, match="at least one primary"):
+            SkewAwareBalancer(4, secondaries=4)
+
+    def test_single_worker_degenerates_to_static(self):
+        balancer = SkewAwareBalancer(1)
+        assert balancer.primaries == 1 and balancer.secondaries == 0
+        batch = ZipfGenerator(alpha=2.0, seed=1).generate(1_000)
+        balancer.observe(batch.keys)
+        parts = balancer.split(batch)
+        assert list(parts) == [0] and len(parts[0]) == 1_000
+
+    def test_by_key_split_keeps_keys_whole(self):
+        balancer = SkewAwareBalancer(4, secondaries=2)
+        batch = ZipfGenerator(alpha=1.5, seed=6).generate(4_000)
+        balancer.observe(batch.keys)
+        parts = split_conserves_tuples(balancer, batch)  # tuple mode
+        parts = balancer.split(batch, by_key=True)
+        owners = {}
+        for worker, part in parts.items():
+            for key in np.unique(part.keys):
+                assert owners.setdefault(int(key), worker) == worker
+
+    def test_plan_attaches_helpers_to_hot_shard(self):
+        balancer = SkewAwareBalancer(4, secondaries=1)
+        hot = np.full(9_000, 0x51, dtype=np.uint64)
+        cold = np.arange(1_000, dtype=np.uint64)
+        keys = np.concatenate([hot, cold])
+        balancer.observe(keys)
+        hot_primary = int(shard_of_keys(hot[:1], balancer.primaries)[0])
+        team = balancer.team_of(hot_primary)
+        assert team[0] == hot_primary
+        assert balancer.primaries in team  # secondary worker id = M
+
+    def test_split_round_robins_hot_shard_across_team(self):
+        balancer = SkewAwareBalancer(4, secondaries=1)
+        hot = TupleBatch.from_keys(np.full(1_000, 0x51, dtype=np.uint64))
+        balancer.observe(hot.keys)
+        parts = split_conserves_tuples(balancer, hot)
+        assert len(parts) == 2  # primary + its helper
+        sizes = sorted(len(part) for part in parts.values())
+        assert sizes == [500, 500]
+
+    def test_rebalance_counted_when_hot_shard_moves(self):
+        balancer = SkewAwareBalancer(6, secondaries=2)
+        streams = [
+            ZipfGenerator(alpha=3.0, seed=seed).generate(4_000).keys
+            for seed in (1, 2, 3)
+        ]
+        for keys in streams:
+            balancer.observe(keys)
+        # Fresh hot keys land in fresh shards; at least one plan change.
+        assert balancer.rebalances >= 1
+
+    def test_identical_samples_yield_stable_plan(self):
+        balancer = SkewAwareBalancer(4, secondaries=1)
+        keys = ZipfGenerator(alpha=1.5, seed=9).generate(8_000).keys
+        balancer.observe(keys)
+        first = balancer.plan.pairs
+        balancer.observe(keys)
+        assert balancer.plan.pairs == first
+        assert balancer.rebalances == 0
+
+
+class TestProfilerExposure:
+    def test_workload_histogram_counts_destinations(self):
+        hist = workload_histogram([0, 1, 1, 3], pripes=4)
+        assert hist.tolist() == [1, 2, 0, 1]
+        with pytest.raises(ValueError, match=r"\[0, pripes\)"):
+            workload_histogram([5], pripes=4)
+
+    def test_plan_for_destinations_matches_manual_pipeline(self):
+        destinations = [0] * 70 + [1] * 20 + [2] * 10
+        plan = plan_for_destinations(destinations, secpes=2, pripes=3)
+        # Both helpers go to the dominant destination: 70/3 > 20, 10.
+        assert [pripe for _, pripe in plan.pairs] == [0, 0]
+
+
+class TestFactory:
+    def test_factory_names(self):
+        assert isinstance(make_balancer("skew", 4), SkewAwareBalancer)
+        assert isinstance(make_balancer("roundrobin", 4),
+                          RoundRobinBalancer)
+        with pytest.raises(ValueError, match="unknown balancer"):
+            make_balancer("magic", 4)

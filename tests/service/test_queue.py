@@ -1,0 +1,114 @@
+"""Job model and admission queue: ordering, cancellation, validation."""
+
+import numpy as np
+import pytest
+
+from repro.service.jobs import Job, JobStatus, kernel_for
+from repro.service.queue import JobQueue
+from repro.workloads.streams import TimestampedBatch
+from repro.workloads.tuples import TupleBatch
+
+
+def make_job(**kwargs):
+    kwargs.setdefault("app", "histo")
+    kwargs.setdefault("source", [])
+    return Job(**kwargs)
+
+
+class TestJobModel:
+    def test_rejects_unknown_app(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            make_job(app="sorting")
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            make_job(window_seconds=0.0)
+
+    def test_assigns_ids(self):
+        a, b = make_job(), make_job()
+        assert a.job_id != b.job_id
+        assert make_job(job_id="mine").job_id == "mine"
+
+    def test_kernel_for_builds_every_served_app(self):
+        for app in ("histo", "dp", "hll", "hhd"):
+            kernel = kernel_for(app, pripes=16)
+            assert kernel.pripes == 16
+        pagerank = kernel_for("pagerank", 16, {"num_vertices": 64})
+        assert pagerank.num_vertices == 64
+
+    def test_pagerank_requires_vertices(self):
+        with pytest.raises(ValueError, match="num_vertices"):
+            kernel_for("pagerank", 16)
+
+
+class TestQueueOrdering:
+    def test_priority_beats_fifo(self):
+        queue = JobQueue()
+        low = make_job(priority=0)
+        high = make_job(priority=5)
+        queue.submit(low)
+        queue.submit(high)
+        assert queue.pop() is high
+        assert queue.pop() is low
+
+    def test_deadline_breaks_priority_ties(self):
+        queue = JobQueue()
+        late = make_job(priority=1, deadline=2.0)
+        soon = make_job(priority=1, deadline=0.5)
+        none = make_job(priority=1)  # no deadline sorts last
+        queue.submit(none)
+        queue.submit(late)
+        queue.submit(soon)
+        assert [queue.pop() for _ in range(3)] == [soon, late, none]
+
+    def test_fifo_as_final_tiebreak(self):
+        queue = JobQueue()
+        first = make_job(priority=2)
+        second = make_job(priority=2)
+        queue.submit(first)
+        queue.submit(second)
+        assert queue.pop() is first
+
+    def test_pop_empty_returns_none(self):
+        assert JobQueue().pop() is None
+
+
+class TestQueueLifecycle:
+    def test_cancel_skips_job(self):
+        queue = JobQueue()
+        job = make_job()
+        queue.submit(job)
+        assert queue.cancel(job.job_id)
+        assert job.status is JobStatus.CANCELLED
+        assert queue.pop() is None
+        assert queue.depth() == 0
+
+    def test_cancel_unknown_is_false(self):
+        assert not JobQueue().cancel("nope")
+
+    def test_duplicate_ids_rejected(self):
+        queue = JobQueue()
+        queue.submit(make_job(job_id="dup"))
+        with pytest.raises(ValueError, match="duplicate"):
+            queue.submit(make_job(job_id="dup"))
+
+    def test_depth_counts_pending_only(self):
+        queue = JobQueue()
+        jobs = [make_job() for _ in range(3)]
+        for job in jobs:
+            queue.submit(job)
+        queue.cancel(jobs[1].job_id)
+        assert queue.depth() == len(queue) == 2
+
+
+class TestTimestampedBatch:
+    def test_shape_mismatch_rejected(self):
+        batch = TupleBatch.from_keys(np.arange(4, dtype=np.uint64))
+        with pytest.raises(ValueError, match="one timestamp per tuple"):
+            TimestampedBatch(np.zeros(3), batch)
+
+    def test_span(self):
+        batch = TupleBatch.from_keys(np.arange(3, dtype=np.uint64))
+        stamped = TimestampedBatch(np.array([0.5, 0.1, 0.9]), batch)
+        assert stamped.span == (0.1, 0.9)
+        assert len(stamped) == 3

@@ -90,3 +90,42 @@ class TestGenerateSelectCodegen:
         assert (out_dir / "common.h").exists()
         assert (out_dir / "profiler.cl").exists()
         assert "__kernel" in (out_dir / "pe.cl").read_text()
+
+
+class TestServeSubmit:
+    def test_serve_demo_runs_end_to_end(self, capsys):
+        code = main([
+            "serve", "--demo", "--tuples", "4000", "--workers", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 4 jobs" in out
+        assert "skew-aware" in out
+        assert "fleet throughput" in out
+        for app in ("hll", "histo", "hhd", "dp"):
+            assert f"app={app}" in out
+
+    def test_serve_round_robin_balancer(self, capsys):
+        code = main([
+            "serve", "--tuples", "4000", "--balancer", "roundrobin",
+        ])
+        assert code == 0
+        assert "round-robin sharding" in capsys.readouterr().out
+
+    def test_submit_histo_job(self, capsys):
+        code = main([
+            "submit", "--app", "histo", "--tuples", "4000",
+            "--alpha", "2.0", "--priority", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "status=completed" in out
+        assert "Per-worker load" in out
+
+    def test_submit_pagerank_job(self, capsys):
+        code = main([
+            "submit", "--app", "pagerank", "--tuples", "3000",
+            "--alpha", "1.0", "--vertices", "512",
+        ])
+        assert code == 0
+        assert "status=completed" in capsys.readouterr().out
