@@ -9,11 +9,18 @@ near its balanced rate.
 
 Throughput is deterministic simulated-cycle accounting: fleet rate =
 total tuples / makespan, where makespan is the busiest worker's cycles
-(workers run in parallel).
+(workers run in parallel).  The serving hot loop runs on the vectorized
+fast-path executor by default; ``test_fast_engine_speedup_over_cycle``
+pins the ≥10x wall-time win over per-cycle simulation.
 
-Asserted headline: on a Zipf(1.2+) stream with K >= 4 workers, the
-skew-aware balancer sustains >= 1.3x the round-robin fleet rate.
+Asserted headlines: on a Zipf(1.2+) stream with K >= 4 workers, the
+skew-aware balancer sustains >= 1.3x the round-robin fleet rate, and the
+fast engine reaches the same conclusion >= 10x sooner.
 """
+
+import time
+
+import pytest
 
 from repro.analysis.tables import Table
 from repro.service import StreamService
@@ -27,10 +34,12 @@ WINDOW_SECONDS = 2.56e-6
 SEED = 11
 
 
-def fleet_throughput(balancer: str, alpha: float) -> float:
+def fleet_throughput(balancer: str, alpha: float,
+                     engine: str = "fast") -> float:
     """Fleet tuples/cycle serving one Zipf stream job end to end."""
     batch = ZipfGenerator(alpha=alpha, seed=SEED).generate(TUPLES)
-    service = StreamService(workers=WORKERS, balancer=balancer)
+    service = StreamService(workers=WORKERS, balancer=balancer,
+                            engine=engine)
     job_id = service.submit(
         "histo", chunk_stream(batch, 4_000),
         window_seconds=WINDOW_SECONDS,
@@ -62,7 +71,10 @@ def test_skew_aware_balancer_beats_round_robin(benchmark, emit):
     for alpha, (naive, skew, ratio) in rows.items():
         table.add_row([alpha, f"{naive:.3f}", f"{skew:.3f}",
                        f"{ratio:.2f}x"])
-    emit("service_throughput", table.render())
+    emit("service_throughput", table.render(), data={
+        str(alpha): {"roundrobin": naive, "skew": skew, "speedup": ratio}
+        for alpha, (naive, skew, ratio) in rows.items()
+    })
 
     # Headline acceptance: >= 1.3x on every skewed point.
     for alpha, (_, _, ratio) in rows.items():
@@ -86,5 +98,30 @@ def test_uniform_streams_pay_no_balancing_penalty(benchmark, emit):
     naive, skew = benchmark.pedantic(measure, rounds=1, iterations=1)
     emit("service_throughput_uniform",
          f"uniform stream: round-robin {naive:.3f} t/c, "
-         f"skew-aware {skew:.3f} t/c")
+         f"skew-aware {skew:.3f} t/c",
+         data={"roundrobin": naive, "skew": skew})
     assert skew >= 0.75 * naive
+
+
+def test_fast_engine_speedup_over_cycle(emit):
+    """The vectorized fast path serves the same stream >= 10x faster in
+    wall time and lands on the same fleet throughput (its modeled cycle
+    counts sit within the equivalence suite's 10% envelope)."""
+    def timed(engine):
+        start = time.perf_counter()
+        throughput = fleet_throughput("skew", 1.5, engine=engine)
+        return time.perf_counter() - start, throughput
+
+    fast_s, fast_tp = timed("fast")
+    cycle_s, cycle_tp = timed("cycle")
+    speedup = cycle_s / fast_s
+    emit("service_engine_speedup",
+         f"cycle engine {cycle_s:.2f}s vs fast engine {fast_s:.3f}s "
+         f"= {speedup:.1f}x wall-time speedup "
+         f"(throughput {cycle_tp:.3f} vs {fast_tp:.3f} t/c)",
+         data={"cycle_seconds": cycle_s, "fast_seconds": fast_s,
+               "speedup": speedup, "cycle_throughput": cycle_tp,
+               "fast_throughput": fast_tp})
+    assert speedup >= 10.0, (
+        f"fast engine only {speedup:.1f}x over cycle simulation")
+    assert fast_tp == pytest.approx(cycle_tp, rel=0.15)

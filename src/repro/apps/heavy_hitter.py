@@ -109,6 +109,42 @@ class HeavyHitterKernel(KernelSpec):
         ):
             buffer.candidates[key] = int(estimate)
 
+    def process_batch(self, buffer: SketchBuffer, keys: np.ndarray,
+                      values: np.ndarray) -> None:
+        # Exact batch replay of the per-tuple loop.  The running
+        # estimate a tuple sees is, per row, the prior cell count plus
+        # its 1-based rank among this batch's tuples hashing to the
+        # same cell; estimates are monotone over time, so a key's
+        # candidacy (and stored estimate) is decided at its *last*
+        # occurrence — both are recoverable without stepping tuples.
+        keys = np.asarray(keys, dtype=np.uint64)
+        n = keys.size
+        if n == 0:
+            return
+        estimates = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        positions = np.arange(n)
+        for row in range(self.depth):
+            cols = self.family.hash_array(row, keys)
+            order = np.argsort(cols, kind="stable")
+            sorted_cols = cols[order]
+            run_starts = np.flatnonzero(
+                np.r_[True, np.diff(sorted_cols) != 0])
+            run_lengths = np.diff(np.r_[run_starts, n])
+            rank = positions - np.repeat(run_starts, run_lengths) + 1
+            running = np.empty(n, dtype=np.int64)
+            running[order] = rank
+            np.minimum(estimates, buffer.cms[row][cols] + running,
+                       out=estimates)
+            np.add.at(buffer.cms[row], cols, 1)
+        reversed_uniques, reversed_first = np.unique(keys[::-1],
+                                                     return_index=True)
+        last_seen = n - 1 - reversed_first
+        tracked = estimates[last_seen] >= (
+            self.track_fraction * self.threshold)
+        for key, estimate in zip(reversed_uniques[tracked],
+                                 estimates[last_seen][tracked]):
+            buffer.candidates[int(key)] = int(estimate)
+
     def merge_into(self, primary: SketchBuffer,
                    secondary: SketchBuffer) -> None:
         primary.cms += secondary.cms

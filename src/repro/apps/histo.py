@@ -75,6 +75,11 @@ class HistogramKernel(KernelSpec):
     def process(self, buffer: np.ndarray, key: int, value: int) -> None:
         buffer[self.bin_of(key) // self.pripes] += 1
 
+    def process_batch(self, buffer: np.ndarray, keys: np.ndarray,
+                      values: np.ndarray) -> None:
+        local = self.bin_array(keys) // self.pripes
+        buffer += np.bincount(local, minlength=buffer.size)
+
     def merge_into(self, primary: np.ndarray, secondary: np.ndarray) -> None:
         primary += secondary
 

@@ -95,9 +95,14 @@ class HyperLogLogKernel(KernelSpec):
             probe >>= 1
         return index, rho
 
-    def _register_and_rho_arrays(self, keys: np.ndarray) -> tuple:
+    def _hash_index_arrays(self, keys: np.ndarray) -> tuple:
+        """(hash, register index) — shared by routing and processing so
+        the two can never disagree on a key's register."""
         h = fmix64_array(keys)
-        index = (h >> np.uint64(64 - self.precision)).astype(np.int64)
+        return h, (h >> np.uint64(64 - self.precision)).astype(np.int64)
+
+    def _register_and_rho_arrays(self, keys: np.ndarray) -> tuple:
+        h, index = self._hash_index_arrays(keys)
         rest = h << np.uint64(self.precision)
         # Count leading zeros via float exponent extraction would lose
         # precision; do it with a bit-length computation instead.
@@ -120,9 +125,11 @@ class HyperLogLogKernel(KernelSpec):
         return index % self.pripes
 
     def route_array(self, keys: np.ndarray) -> np.ndarray:
-        index, _ = self._register_and_rho_arrays(
-            np.asarray(keys, dtype=np.uint64)
-        )
+        # Routing needs only the register index: skip the rank (clz)
+        # passes, which dominate _register_and_rho_arrays and are paid
+        # again by process_batch on the fast path.
+        _, index = self._hash_index_arrays(
+            np.asarray(keys, dtype=np.uint64))
         return index % self.pripes
 
     def make_buffer(self) -> np.ndarray:
@@ -133,6 +140,13 @@ class HyperLogLogKernel(KernelSpec):
         local = index // self.pripes
         if rho > buffer[local]:
             buffer[local] = rho
+
+    def process_batch(self, buffer: np.ndarray, keys: np.ndarray,
+                      values: np.ndarray) -> None:
+        index, rho = self._register_and_rho_arrays(
+            np.asarray(keys, dtype=np.uint64))
+        np.maximum.at(buffer, index // self.pripes,
+                      rho.astype(buffer.dtype))
 
     def merge_into(self, primary: np.ndarray, secondary: np.ndarray) -> None:
         np.maximum(primary, secondary, out=primary)

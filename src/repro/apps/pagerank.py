@@ -78,12 +78,23 @@ class PageRankKernel(KernelSpec):
     def prepare_value(self, key: int, value: int) -> int:
         return int(self.contributions[value])
 
+    def prepare_value_array(self, keys: np.ndarray,
+                            values: np.ndarray) -> np.ndarray:
+        return self.contributions[np.asarray(values, dtype=np.int64)]
+
     def make_buffer(self) -> np.ndarray:
         slots = -(-self.num_vertices // self.pripes)
         return np.zeros(slots, dtype=np.int64)
 
     def process(self, buffer: np.ndarray, key: int, value: int) -> None:
         buffer[key // self.pripes] += value
+
+    def process_batch(self, buffer: np.ndarray, keys: np.ndarray,
+                      values: np.ndarray) -> None:
+        # np.add.at keeps the accumulation in exact int64 (a weighted
+        # bincount would round-trip the Q16.16 sums through float64).
+        np.add.at(buffer, np.asarray(keys, dtype=np.int64) // self.pripes,
+                  np.asarray(values, dtype=np.int64))
 
     def merge_into(self, primary: np.ndarray, secondary: np.ndarray) -> None:
         primary += secondary

@@ -21,6 +21,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.core.fastpath import group_spans
 from repro.core.kernel import KernelSpec
 from repro.hashing.radix import radix_bits, radix_bits_array
 from repro.resources.estimator import AppResourceProfile
@@ -72,6 +73,14 @@ class PartitionKernel(KernelSpec):
                 value: int) -> None:
         buffer.setdefault(self.partition_of(key), []).append(key)
 
+    def process_batch(self, buffer: Dict[int, List[int]], keys: np.ndarray,
+                      values: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.uint64)
+        # group_spans preserves stream order within each partition, so
+        # the fast path appends exactly what the per-tuple loop would.
+        for part, span in group_spans(self.partition_array(keys)):
+            buffer.setdefault(part, []).extend(keys[span].tolist())
+
     def collect(
         self, buffers: List[Dict[int, List[int]]]
     ) -> Dict[int, List[int]]:
@@ -101,18 +110,10 @@ class PartitionKernel(KernelSpec):
                values: np.ndarray) -> Dict[int, List[int]]:
         """Vectorised reference partitioning."""
         keys = np.asarray(keys, dtype=np.uint64)
-        parts = self.partition_array(keys)
-        result: Dict[int, List[int]] = {}
-        order = np.argsort(parts, kind="stable")
-        sorted_parts = parts[order]
-        sorted_keys = keys[order]
-        boundaries = np.flatnonzero(np.diff(sorted_parts)) + 1
-        for part_ids, chunk in zip(
-            np.split(sorted_parts, boundaries), np.split(sorted_keys, boundaries)
-        ):
-            if part_ids.size:
-                result[int(part_ids[0])] = [int(k) for k in chunk]
-        return result
+        return {
+            part: keys[span].tolist()
+            for part, span in group_spans(self.partition_array(keys))
+        }
 
     def resource_profile(self) -> AppResourceProfile:
         """Component costs for the resource estimator."""

@@ -184,7 +184,8 @@ def cmd_codegen(args: argparse.Namespace) -> int:
 def _service_for(args: argparse.Namespace):
     from repro.service import StreamService
 
-    return StreamService(workers=args.workers, balancer=args.balancer)
+    return StreamService(workers=args.workers, balancer=args.balancer,
+                         engine=args.engine)
 
 
 def _zipf_source(app: str, alpha: float, tuples: int, seed: int,
@@ -248,7 +249,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ]
     served = service.run()
     print(f"served {served} jobs on {args.workers} workers "
-          f"[{service.balancer.describe()}]\n")
+          f"[{service.balancer.describe()}, {args.engine} engine]\n")
     for job_id in jobs:
         _summarize_job(service, job_id)
     print()
@@ -345,6 +346,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=42)
         p.add_argument("--window-us", type=positive(float), default=2.56,
                        help="event-time window width in microseconds")
+        p.add_argument("--engine", default="fast",
+                       choices=["fast", "cycle"],
+                       help="segment executor: vectorized fast path "
+                            "(modeled cycles) or the per-cycle simulator")
 
     p = sub.add_parser("serve", help="run the stream-serving fleet")
     add_service_options(p)

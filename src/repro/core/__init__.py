@@ -26,6 +26,7 @@ the above onto the cycle simulator and runs a dataset end to end.
 
 from repro.core.architecture import ArchitectureResult, SkewObliviousArchitecture
 from repro.core.config import ArchitectureConfig
+from repro.core.fastpath import ENGINES, run_fast, validate_engine
 from repro.core.kernel import KernelSpec
 from repro.core.mapper import Mapper, MappingState
 from repro.core.merger import Merger
@@ -44,6 +45,7 @@ __all__ = [
     "ArchitectureConfig",
     "ArchitectureResult",
     "Combiner",
+    "ENGINES",
     "FilterDecoder",
     "KernelSpec",
     "Mapper",
@@ -56,5 +58,7 @@ __all__ = [
     "SkewObliviousArchitecture",
     "greedy_secpe_plan",
     "plan_for_destinations",
+    "run_fast",
+    "validate_engine",
     "workload_histogram",
 ]

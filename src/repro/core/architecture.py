@@ -246,9 +246,22 @@ class SkewObliviousArchitecture:
     # Execution
     # ------------------------------------------------------------------
     def run(
-        self, batch: TupleBatch, max_cycles: int = 5_000_000
+        self,
+        batch: TupleBatch,
+        max_cycles: int = 5_000_000,
+        engine: str = "cycle",
     ) -> ArchitectureResult:
-        """Process ``batch`` to completion and return the merged result."""
+        """Process ``batch`` to completion and return the merged result.
+
+        ``engine="cycle"`` ticks the full pipeline cycle by cycle (the
+        oracle); ``engine="fast"`` computes the identical application
+        result with vectorised reductions and models the cycle count
+        from the analytic bottleneck (:mod:`repro.core.fastpath`).
+        """
+        from repro.core.fastpath import run_fast, validate_engine
+
+        if validate_engine(engine) == "fast":
+            return run_fast(self.config, self.kernel, batch)
         if len(batch) == 0:
             raise ValueError("cannot run an empty batch")
         sim = self._build(batch)

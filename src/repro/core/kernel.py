@@ -72,6 +72,25 @@ class KernelSpec(ABC):
         """
         return value
 
+    def prepare_value_array(self, keys: np.ndarray,
+                            values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`prepare_value` for the fast-path executor.
+
+        The default recognises an un-overridden scalar hook (identity)
+        and skips the per-tuple loop entirely; kernels that do override
+        :meth:`prepare_value` either get the loop fallback or override
+        this too (PageRank: one fancy-index gather).
+        """
+        values = np.asarray(values, dtype=np.int64)
+        if type(self).prepare_value is KernelSpec.prepare_value:
+            return values
+        return np.fromiter(
+            (self.prepare_value(int(k), int(v))
+             for k, v in zip(np.asarray(keys).tolist(), values.tolist())),
+            dtype=np.int64,
+            count=len(values),
+        )
+
     # ------------------------------------------------------------------
     # Processing (PriPE / SecPE logic)
     # ------------------------------------------------------------------
@@ -82,6 +101,21 @@ class KernelSpec(ABC):
     @abstractmethod
     def process(self, buffer: Any, key: int, value: int) -> None:
         """Apply one routed tuple to ``buffer`` (takes II cycles on-chip)."""
+
+    def process_batch(self, buffer: Any, keys: np.ndarray,
+                      values: np.ndarray) -> None:
+        """Apply a whole routed batch to one PE's ``buffer``.
+
+        The fast-path executor (:mod:`repro.core.fastpath`) feeds every
+        tuple destined for one PE through this hook in stream order.
+        Kernels opt in by overriding with a NumPy reduction
+        (bincount / ``ufunc.at`` scatter); this default is the exact
+        per-tuple fallback, so the fast path is always available.
+        ``values`` have already been through :meth:`prepare_value`.
+        """
+        for key, value in zip(np.asarray(keys).tolist(),
+                              np.asarray(values).tolist()):
+            self.process(buffer, int(key), int(value))
 
     # ------------------------------------------------------------------
     # Merging (merger logic)

@@ -23,7 +23,8 @@ mechanism that collapses throughput to 1/M under extreme skew (Fig. 2b).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections import deque
+from typing import Deque, List, Sequence, Tuple
 
 from repro.sim.channel import Channel
 from repro.sim.module import Module
@@ -118,7 +119,9 @@ class FilterDecoder(Module):
         self._pe_id = pe_id
         self._group_in = group_in
         self._pe_out = pe_out
-        self._pending: List[RoutedTuple] = []
+        # A deque: the head pop below must stay O(1) even when one hot
+        # PE's datapath holds large oversized matches under heavy skew.
+        self._pending: Deque[RoutedTuple] = deque()
         self.tuples_forwarded = 0
 
     @property
@@ -129,7 +132,7 @@ class FilterDecoder(Module):
     def tick(self, cycle: int) -> None:
         # First drain tuples held over from a previous oversized match.
         while self._pending and self._pe_out.can_write():
-            self._pe_out.write(self._pending.pop(0))
+            self._pe_out.write(self._pending.popleft())
             self.tuples_forwarded += 1
         if self._pending:
             self.note_stall()

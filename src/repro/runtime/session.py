@@ -46,12 +46,18 @@ class StreamingSession:
         Application logic; must implement ``combine_results`` for its
         result type.
     max_cycles_per_segment:
-        Cycle budget per segment run.
+        Cycle budget per segment run (cycle engine only).
+    engine:
+        ``"cycle"`` (default) runs every segment through the per-cycle
+        simulator; ``"fast"`` uses the vectorised fast-path executor
+        (:mod:`repro.core.fastpath`) — identical results, modeled
+        cycles.
     """
 
     config: ArchitectureConfig
     kernel: KernelSpec
     max_cycles_per_segment: int = 20_000_000
+    engine: str = "cycle"
     result: Optional[Any] = None
     history: List[SegmentOutcome] = field(default_factory=list)
 
@@ -59,7 +65,8 @@ class StreamingSession:
         """Run one segment and fold its result into the running total."""
         architecture = SkewObliviousArchitecture(self.config, self.kernel)
         outcome = architecture.run(
-            batch, max_cycles=self.max_cycles_per_segment)
+            batch, max_cycles=self.max_cycles_per_segment,
+            engine=self.engine)
         if self.result is None:
             self.result = outcome.result
         else:

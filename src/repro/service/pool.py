@@ -167,15 +167,26 @@ class WorkerPool:
         with self._lock:
             return list(self._errors.get(job_id, []))
 
+    def clear_errors(self, job_id: str) -> None:
+        """Drop one job's error ledger.
+
+        Called when a job starts (so a resubmitted client-chosen job id
+        does not inherit a previous run's errors and fail instantly) and
+        by :meth:`collect` (so the ledger cannot grow without bound).
+        """
+        with self._lock:
+            self._errors.pop(job_id, None)
+
     def collect(self, job_id: str) -> Optional[StreamingSession]:
         """Merge the per-worker partial sessions of one finished job.
 
         Call only after :meth:`drain`.  Returns None if no worker
-        processed any tuple for the job.  The per-worker sessions are
-        released, so collection is one-shot.
+        processed any tuple for the job.  The per-worker sessions (and
+        the job's error ledger) are released, so collection is one-shot.
         """
         partials: List[StreamingSession] = []
         with self._lock:
+            self._errors.pop(job_id, None)
             for worker_id in range(self.size):
                 partial = self._sessions.pop((worker_id, job_id), None)
                 if partial is not None and partial.history:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.service.jobs import Job, JobStatus
@@ -50,16 +51,30 @@ class JobQueue:
         """Next runnable job, or None if the queue stays empty.
 
         ``timeout=0`` polls; ``timeout=None`` blocks until a job arrives.
+        A finite timeout is a single absolute deadline: spurious wakeups
+        (e.g. a submit immediately cancelled) wait only the *remaining*
+        time, so repeated submit+cancel cycles cannot block a finite
+        ``pop`` past its deadline.
         """
         with self._not_empty:
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
             while True:
                 job = self._pop_runnable()
                 if job is not None:
                     return job
                 if timeout == 0.0:
                     return None
-                if not self._not_empty.wait(timeout=timeout):
-                    return self._pop_runnable()
+                if deadline is None:
+                    self._not_empty.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    # The lock is held: nothing can have arrived since
+                    # the runnable check at the top of this iteration.
+                    return None
+                self._not_empty.wait(timeout=remaining)
 
     def _pop_runnable(self) -> Optional[Job]:
         while self._heap:

@@ -29,6 +29,7 @@ from typing import Any, Dict, Iterable, Optional, Union
 import numpy as np
 
 from repro.core.config import ArchitectureConfig
+from repro.core.fastpath import validate_engine
 from repro.runtime.session import StreamingSession
 from repro.service.balancer import FleetBalancer, make_balancer
 from repro.service.jobs import (
@@ -63,6 +64,11 @@ class StreamService:
         Cycle budget for one worker's shard of one window.
     allowed_lateness:
         Event-time slack forwarded to every job's window manager.
+    engine:
+        Segment executor: ``"fast"`` (default) computes exact results
+        with vectorised reductions and modeled cycles
+        (:mod:`repro.core.fastpath`); ``"cycle"`` ticks the full
+        per-cycle simulator for every window shard.
     """
 
     def __init__(
@@ -72,9 +78,11 @@ class StreamService:
         config: Optional[ArchitectureConfig] = None,
         max_cycles_per_segment: int = 20_000_000,
         allowed_lateness: float = 0.0,
+        engine: str = "fast",
     ) -> None:
         self.config = config or ArchitectureConfig(
             lanes=8, pripes=16, secpes=0, reschedule_threshold=0.0)
+        self.engine = validate_engine(engine)
         if isinstance(balancer, str):
             balancer = make_balancer(balancer, workers)
         if balancer.workers != workers:
@@ -194,10 +202,13 @@ class StreamService:
             config=self.config,
             kernel=kernel_for(job.app, self.config.pripes, job.params),
             max_cycles_per_segment=self.max_cycles_per_segment,
+            engine=self.engine,
         )
 
     def _run_job(self, job: Job) -> None:
         job.status = JobStatus.RUNNING
+        # A resubmitted job id must not inherit a previous run's errors.
+        self._pool.clear_errors(job.job_id)
         windows = WindowManager(job.window_seconds,
                                 allowed_lateness=self.allowed_lateness)
         # Non-splittable kernels (heavy hitters) need every key's tuples

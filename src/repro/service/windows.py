@@ -85,8 +85,21 @@ class WindowManager:
         self.windows_closed = 0
 
     def _window_of(self, timestamps: np.ndarray) -> np.ndarray:
-        return np.floor_divide(timestamps, self.window_seconds).astype(
-            np.int64)
+        quotient = np.asarray(timestamps,
+                              dtype=np.float64) / self.window_seconds
+        indices = np.floor(quotient).astype(np.int64)
+        # Round-then-floor: a quotient within a few ulp of an integer
+        # is that integer — a tuple stamped exactly at a window start
+        # (0.3 with 0.1s windows divides to 2.999...) belongs to the
+        # window it opens, not the previous one.  The tolerance tracks
+        # float spacing at the quotient's magnitude, so large absolute
+        # event times (epoch seconds) never snap genuinely-interior
+        # tuples across a boundary.
+        nearest = np.rint(quotient)
+        snapped = np.abs(quotient - nearest) <= (
+            4.0 * np.spacing(np.abs(quotient)))
+        indices[snapped] = nearest[snapped].astype(np.int64)
+        return indices
 
     def _ensure(self, index: int) -> EventWindow:
         window = self._open.get(index)

@@ -187,6 +187,67 @@ class TestFailurePaths:
             service.poll("job-does-not-exist")
 
 
+class TestResubmittedJobId:
+    def test_resubmitted_id_does_not_inherit_old_errors(self):
+        """A failed run's worker errors must not leak into a later job
+        reusing the same client-chosen id."""
+        vertices = 16
+        params = {"num_vertices": vertices}
+        svc = StreamService(workers=1, balancer="skew")
+        # Keys beyond the vertex range blow up inside the worker (not
+        # at admission, where only the params are validated).
+        bad = TupleBatch(
+            keys=np.full(200, 1_000, dtype=np.uint64),
+            values=np.zeros(200, dtype=np.int64),
+        )
+        svc.submit("pagerank", chunk_stream(bad, 100),
+                   window_seconds=WINDOW, params=params, job_id="retry")
+        svc.run()
+        assert svc.poll("retry")["status"] == "failed"
+
+        rng = np.random.default_rng(9)
+        good = TupleBatch(
+            keys=rng.integers(0, vertices, 500).astype(np.uint64),
+            values=rng.integers(0, vertices, 500, dtype=np.int64),
+        )
+        svc.submit("pagerank", chunk_stream(good, 250),
+                   window_seconds=WINDOW, params=params, job_id="retry")
+        svc.run()
+        svc.shutdown()
+        assert svc.poll("retry")["status"] == "completed"
+        golden = kernel_for("pagerank", 16, params).golden(good.keys,
+                                                           good.values)
+        assert np.array_equal(svc.result("retry").result, golden)
+
+
+class TestEngineSwitch:
+    def test_cycle_engine_still_served(self):
+        batch = zipf_batch(tuples=3_000)
+        svc = StreamService(workers=2, balancer="skew", engine="cycle")
+        job_id = svc.submit("histo", chunk_stream(batch, 1_500),
+                            window_seconds=WINDOW)
+        svc.run()
+        golden = kernel_for("histo", 16).golden(batch.keys, batch.values)
+        assert np.array_equal(svc.result(job_id).result, golden)
+        svc.shutdown()
+
+    def test_engines_agree_on_results(self):
+        batch = zipf_batch(alpha=1.8, tuples=4_000, seed=21)
+        results = {}
+        for engine in ("fast", "cycle"):
+            svc = StreamService(workers=4, balancer="skew", engine=engine)
+            job_id = svc.submit("histo", chunk_stream(batch, 2_000),
+                                window_seconds=WINDOW)
+            svc.run()
+            results[engine] = svc.result(job_id).result
+            svc.shutdown()
+        assert np.array_equal(results["fast"], results["cycle"])
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            StreamService(workers=2, engine="warp")
+
+
 class TestRoundRobinService:
     def test_round_robin_also_correct_just_slower(self):
         """Both balancers produce identical results; only cycles differ."""

@@ -53,6 +53,45 @@ class TestWindowClosing:
         assert lax.observe(stamped([1.6]))
 
 
+class TestBoundaryAssignment:
+    """Tuples stamped exactly at a window start belong to that window."""
+
+    def test_exact_boundary_joins_its_own_window(self):
+        # 0.3 / 0.1 == 2.999... in floats: floor_divide alone files the
+        # tuple under window 2 instead of 3.
+        manager = WindowManager(window_seconds=0.1)
+        manager.observe(stamped([0.3], keys=[42]))
+        closed = manager.flush()
+        assert [w.index for w in closed] == [3]
+        assert closed[0].to_batch().keys.tolist() == [42]
+
+    @pytest.mark.parametrize("window_seconds", [0.1, 4e-6, 2.56e-6])
+    def test_every_window_start_maps_to_its_index(self, window_seconds):
+        manager = WindowManager(window_seconds=window_seconds)
+        k = np.arange(1, 1_000)
+        indices = manager._window_of(k * window_seconds)
+        assert np.array_equal(indices, k)
+
+    def test_large_absolute_times_do_not_snap_interior_tuples(self):
+        # The snap tolerance tracks float spacing, not timestamp
+        # magnitude: at epoch-scale event times a tuple 50us before a
+        # 1s boundary must stay in its own window.
+        manager = WindowManager(window_seconds=1.0)
+        indices = manager._window_of(np.array([86_400.0 - 5e-5,
+                                               86_400.0]))
+        assert indices.tolist() == [86_399, 86_400]
+
+    def test_boundary_tuple_is_not_late(self):
+        # Closing window 2 advances the watermark to its end: a tuple
+        # stamped exactly at that boundary opens window 3, it is not a
+        # late arrival into window 2.
+        manager = WindowManager(window_seconds=0.1)
+        manager.observe(stamped([0.05, 0.25]))
+        manager.observe(stamped([3 * 0.1]))
+        assert manager.late_tuples == 0
+        assert 3 in manager.open_windows
+
+
 class TestLateData:
     def test_late_tuples_dropped_and_counted(self):
         manager = WindowManager(window_seconds=1.0)
