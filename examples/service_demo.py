@@ -6,14 +6,22 @@ histogram job against its golden reference, and then re-runs the same
 skewed stream under naive round-robin sharding to show the fleet-level
 speedup of the paper's greedy plan applied across workers.
 
+The final act turns on the adaptive control plane: the hot keys move
+every window (the paper's Fig. 9 thrashing regime) and rescheduling
+carries a realistic stall, so the reflexive per-window replanner
+collapses while `StreamService(adaptive=True)` detects the thrash and
+holds its plan.
+
 Run:  python examples/service_demo.py
 """
 
 import numpy as np
 
+from repro.control import ControlPolicy
 from repro.service import StreamService
 from repro.service.jobs import kernel_for
-from repro.workloads.streams import chunk_stream
+from repro.workloads.evolving import EvolvingZipfStream
+from repro.workloads.streams import arrival_stream, chunk_stream
 from repro.workloads.zipf import ZipfGenerator
 
 WORKERS = 4
@@ -74,6 +82,41 @@ def main() -> None:
           f"tuples/cycle")
     print(f"  skew-aware balancer  : {rates['skew']:.3f} tuples/cycle "
           f"({rates['skew'] / rates['roundrobin']:.2f}x)")
+
+    # Act three: the hot keys now MOVE every window, and each plan
+    # change stalls the fleet (detection + drain + re-enqueue).  The
+    # reflexive balancer replans itself into the ground; the adaptive
+    # controller recognises the thrashing regime and holds the plan.
+    cost = 20_000  # cycles per applied plan
+    evolving = lambda: EvolvingZipfStream(  # noqa: E731
+        alpha=2.0, interval_tuples=4_000, total_tuples=40_000, base_seed=3)
+    adaptive_rates = {}
+    for label, kwargs in (
+        ("reflexive", dict()),
+        ("adaptive", dict(adaptive=True,
+                          control=ControlPolicy(
+                              reschedule_cost_cycles=cost))),
+    ):
+        fleet = StreamService(workers=WORKERS, balancer="skew",
+                              reschedule_cost_cycles=cost, **kwargs)
+        fleet.submit("histo", arrival_stream(evolving()),
+                     window_seconds=WINDOW)
+        fleet.run()
+        adaptive_rates[label] = fleet.metrics.fleet_throughput()
+        if fleet.controller is not None:
+            summary = fleet.metrics.snapshot()["control"]
+            print(f"\nadaptive controller under evolving skew: "
+                  f"{summary['drift_events']} drift events, "
+                  f"{summary['replans_applied']} replans, "
+                  f"{summary['replans_suppressed']} suppressed")
+        fleet.shutdown()
+
+    print(f"evolving hot keys ({cost:,}-cycle reschedule stall):")
+    print(f"  reflexive replanning : "
+          f"{adaptive_rates['reflexive']:.3f} tuples/cycle")
+    print(f"  adaptive control     : "
+          f"{adaptive_rates['adaptive']:.3f} tuples/cycle "
+          f"({adaptive_rates['adaptive'] / adaptive_rates['reflexive']:.2f}x)")
 
 
 if __name__ == "__main__":

@@ -184,8 +184,14 @@ def cmd_codegen(args: argparse.Namespace) -> int:
 def _service_for(args: argparse.Namespace):
     from repro.service import StreamService
 
+    if args.slo is not None and not args.adaptive:
+        raise SystemExit("--slo requires --adaptive")
+    if args.adaptive and args.balancer != "skew":
+        raise SystemExit("--adaptive requires the skew balancer")
     return StreamService(workers=args.workers, balancer=args.balancer,
-                         engine=args.engine)
+                         engine=args.engine,
+                         adaptive=args.adaptive, slo=args.slo,
+                         reschedule_cost_cycles=args.reschedule_cost)
 
 
 def _zipf_source(app: str, alpha: float, tuples: int, seed: int,
@@ -248,8 +254,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
                            window_seconds=window),
         ]
     served = service.run()
-    print(f"served {served} jobs on {args.workers} workers "
-          f"[{service.balancer.describe()}, {args.engine} engine]\n")
+    print(f"served {served} jobs on {service.balancer.workers} workers "
+          f"[{service.balancer.describe()}, {args.engine} engine]")
+    if service.controller is not None:
+        print(f"  {service.controller.describe()}")
+    print()
     for job_id in jobs:
         _summarize_job(service, job_id)
     print()
@@ -336,6 +345,15 @@ def build_parser() -> argparse.ArgumentParser:
             return value
         return parse
 
+    def non_negative(kind):
+        def parse(text: str):
+            value = kind(text)
+            if value < 0:
+                raise argparse.ArgumentTypeError(
+                    f"must be a non-negative {kind.__name__}")
+            return value
+        return parse
+
     def add_service_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workers", type=positive(int), default=4,
                        help="pipeline fleet size K")
@@ -350,6 +368,19 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["fast", "cycle"],
                        help="segment executor: vectorized fast path "
                             "(modeled cycles) or the per-cycle simulator")
+        p.add_argument("--adaptive", action="store_true",
+                       help="enable the adaptive control plane: drift "
+                            "detection, cost-aware replanning with plan "
+                            "caching, and (with --slo) autoscaling")
+        p.add_argument("--slo", type=positive(float), default=None,
+                       help="cycles-per-tuple SLO for elastic worker-"
+                            "pool sizing (requires --adaptive)")
+        p.add_argument("--reschedule-cost", type=non_negative(int),
+                       default=None,
+                       help="fleet-wide stall in simulated cycles "
+                            "charged per plan change (0 = free; "
+                            "default: free, or derived from the config "
+                            "when --adaptive)")
 
     p = sub.add_parser("serve", help="run the stream-serving fleet")
     add_service_options(p)

@@ -1,0 +1,54 @@
+"""Adaptive control plane for the stream-serving fleet.
+
+The paper's Fig. 9 shows that skew-oblivious routing lives or dies by
+*when* it reschedules: replanning amortises under slow drift, thrashes
+when drift outpaces the rescheduling cost, and should be suppressed
+entirely when channel FIFOs absorb bursts.  This package closes the same
+loop one level up, around the worker fleet of :mod:`repro.service`:
+
+``detector``
+    Fleet-level drift detection — the profiler's workload-distribution
+    monitor (§IV-C3) lifted to worker granularity: flag when the observed
+    per-shard histogram diverges from the histogram the active plan was
+    built from.
+``replanner``
+    Cost-aware rescheduling with hysteresis, reusing the Fig. 9 regime
+    math from :mod:`repro.perf.evolving`: replan when the drift interval
+    amortises the rescheduling cost, hold the plan when replanning would
+    thrash, freeze entirely in the burst-absorption regime.
+``plan_cache``
+    An LRU of :class:`~repro.core.profiler.SchedulingPlan`s keyed by a
+    quantized histogram signature, so recurring distributions (diurnal
+    tenants, A/B flips) reattach helpers without re-running the greedy
+    plan.
+``autoscaler``
+    Elastic worker-pool sizing against a cycles-per-tuple SLO.
+``controller``
+    The :class:`AdaptiveController` façade that
+    :class:`~repro.service.server.StreamService` consults once per
+    closed window (``StreamService(adaptive=True, slo=...)``).
+"""
+
+from repro.control.autoscaler import Autoscaler, ScaleDecision
+from repro.control.controller import AdaptiveController, ControlPolicy
+from repro.control.detector import DriftDetector, DriftReport
+from repro.control.plan_cache import PlanCache, histogram_signature
+from repro.control.replanner import (
+    CostAwareReplanner,
+    ReplanDecision,
+    default_reschedule_cost_cycles,
+)
+
+__all__ = [
+    "AdaptiveController",
+    "Autoscaler",
+    "ControlPolicy",
+    "CostAwareReplanner",
+    "DriftDetector",
+    "DriftReport",
+    "PlanCache",
+    "ReplanDecision",
+    "ScaleDecision",
+    "default_reschedule_cost_cycles",
+    "histogram_signature",
+]

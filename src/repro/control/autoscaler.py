@@ -1,0 +1,106 @@
+"""Elastic worker-pool sizing against a cycles-per-tuple SLO.
+
+The serving fleet's throughput denominator is the busiest worker's
+simulated cycles (workers run in parallel), so the fleet-level service
+objective is naturally *cycles per tuple*: makespan growth over tuple
+throughput.  The autoscaler watches that quantity over recent windows
+and sizes the fleet to hold it at the SLO — growing when the fleet falls
+behind, shrinking when capacity sits idle — in the spirit of the HLS
+memcached server's SLA-driven provisioning (Karras et al.): provision
+for the load you see, not the worst case you fear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """Outcome of one autoscaling check."""
+
+    size: int                       # fleet size to run with from now on
+    observed_cycles_per_tuple: float
+    reason: str                     # "grow" | "shrink" | "hold"
+
+
+class Autoscaler:
+    """Sizes the worker fleet to a cycles-per-tuple SLO.
+
+    Parameters
+    ----------
+    slo_cycles_per_tuple:
+        Target upper bound on fleet cycles per tuple (the inverse of the
+        fleet tuples/cycle throughput).
+    min_workers / max_workers:
+        Fleet size clamps.
+    shrink_margin:
+        Shrink only when observed cycles/tuple sit below
+        ``shrink_margin * slo`` — the gap between the grow and shrink
+        triggers is the hysteresis band that prevents size flapping.
+    cooldown_checks:
+        Checks to skip after any resize, letting the reshaped fleet's
+        metrics stabilise before judging it.
+    step:
+        Workers added/removed per decision.
+    """
+
+    def __init__(
+        self,
+        slo_cycles_per_tuple: float,
+        min_workers: int = 1,
+        max_workers: int = 32,
+        shrink_margin: float = 0.4,
+        cooldown_checks: int = 1,
+        step: int = 1,
+    ) -> None:
+        if slo_cycles_per_tuple <= 0:
+            raise ValueError("slo_cycles_per_tuple must be positive")
+        if min_workers <= 0 or max_workers < min_workers:
+            raise ValueError("need 0 < min_workers <= max_workers")
+        if not 0.0 <= shrink_margin < 1.0:
+            raise ValueError("shrink_margin must be in [0, 1)")
+        if cooldown_checks < 0:
+            raise ValueError("cooldown_checks must be non-negative")
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self.slo = slo_cycles_per_tuple
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.shrink_margin = shrink_margin
+        self.cooldown_checks = cooldown_checks
+        self.step = step
+        self._cooldown = 0
+
+    def decide(
+        self, tuples_delta: int, busy_cycles_delta: int, size: int
+    ) -> ScaleDecision:
+        """Fleet size for the next stretch of windows.
+
+        Parameters
+        ----------
+        tuples_delta:
+            Tuples processed since the previous check.
+        busy_cycles_delta:
+            Busiest-worker cycle growth since the previous check —
+            *worker* cycles only, excluding fleet-wide rescheduling
+            stalls, which adding workers cannot fix.
+        size:
+            Current fleet size.
+        """
+        if tuples_delta <= 0:
+            return ScaleDecision(size, 0.0, "hold")
+        observed = busy_cycles_delta / tuples_delta
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return ScaleDecision(size, observed, "hold")
+        if observed > self.slo and size < self.max_workers:
+            self._cooldown = self.cooldown_checks
+            return ScaleDecision(
+                min(size + self.step, self.max_workers), observed, "grow")
+        if observed < self.shrink_margin * self.slo \
+                and size > self.min_workers:
+            self._cooldown = self.cooldown_checks
+            return ScaleDecision(
+                max(size - self.step, self.min_workers), observed, "shrink")
+        return ScaleDecision(size, observed, "hold")

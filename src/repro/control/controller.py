@@ -1,0 +1,300 @@
+"""The adaptive controller: one decision point per closed window.
+
+:class:`AdaptiveController` owns the control loop the serving layer was
+missing: the balancer keeps *observing* every window (cheap — a seeded
+subsample and a histogram), but *reacting* becomes a decision instead of
+a reflex:
+
+1. The :class:`~repro.control.detector.DriftDetector` compares the
+   window's shard histogram against the one the active plan was built
+   from.
+2. On drift, the :class:`~repro.control.replanner.CostAwareReplanner`
+   places the estimated drift interval into a Fig. 9 regime: replan
+   (amortised), hold the plan (thrashing), or freeze the control loop
+   (burst absorption).
+3. A replan consults the :class:`~repro.control.plan_cache.PlanCache`
+   before re-running the greedy assignment, and charges the fleet the
+   rescheduling stall.
+4. Every ``autoscale_every`` windows the
+   :class:`~repro.control.autoscaler.Autoscaler` checks recent cycles
+   per tuple against the SLO and resizes the worker pool, reshaping the
+   balancer's primary/secondary split to match.
+
+The controller is consulted from the dispatcher thread only; it mutates
+the balancer and pool from that single thread and records its activity
+in :class:`~repro.service.metrics.ServiceMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.control.autoscaler import Autoscaler
+from repro.control.detector import DriftDetector, total_variation
+from repro.control.plan_cache import PlanCache
+from repro.control.replanner import CostAwareReplanner, ReplanDecision
+from repro.core.profiler import greedy_secpe_plan
+
+
+@dataclass(frozen=True)
+class ControlPolicy:
+    """Tunables of the adaptive control loop.
+
+    Drift / replanning knobs mirror :class:`CostAwareReplanner` and
+    :class:`DriftDetector`; autoscaling knobs mirror :class:`Autoscaler`.
+    ``reschedule_cost_cycles=None`` derives the cost from the service's
+    architecture configuration
+    (:func:`~repro.control.replanner.default_reschedule_cost_cycles`).
+    """
+
+    drift_threshold: float = 0.25
+    reschedule_cost_cycles: Optional[int] = None
+    cycles_per_tuple: float = 0.5
+    amortize_factor: float = 4.0
+    burst_tuples: int = 0
+    hysteresis_windows: int = 2
+    cache_capacity: int = 32
+    signature_levels: int = 8
+    autoscale_every: int = 8
+    min_workers: int = 1
+    max_workers: int = 32
+    shrink_margin: float = 0.4
+    scale_cooldown: int = 1
+
+    def with_cost(self, cost: int) -> "ControlPolicy":
+        """A copy with a concrete rescheduling cost filled in."""
+        return replace(self, reschedule_cost_cycles=cost)
+
+
+class AdaptiveController:
+    """Closes the loop around one serving fleet.
+
+    Parameters
+    ----------
+    balancer:
+        The fleet's :class:`~repro.service.balancer.SkewAwareBalancer`;
+        its ``auto_replan`` flag must be off (the service façade does
+        this) so that observing a window no longer replans as a side
+        effect.
+    pool:
+        The fleet's :class:`~repro.service.pool.WorkerPool` (resized by
+        the autoscaler).
+    metrics:
+        Shared :class:`~repro.service.metrics.ServiceMetrics`.
+    policy:
+        :class:`ControlPolicy` with ``reschedule_cost_cycles`` resolved.
+    slo:
+        Cycles-per-tuple SLO enabling the autoscaler; None disables
+        elastic sizing (drift control still runs).
+    """
+
+    def __init__(
+        self,
+        balancer,
+        pool,
+        metrics,
+        policy: Optional[ControlPolicy] = None,
+        slo: Optional[float] = None,
+    ) -> None:
+        self.balancer = balancer
+        self.pool = pool
+        self.metrics = metrics
+        self.policy = policy or ControlPolicy()
+        if self.policy.reschedule_cost_cycles is None:
+            raise ValueError(
+                "policy.reschedule_cost_cycles must be resolved before "
+                "constructing the controller")
+        self.detector = DriftDetector(self.policy.drift_threshold)
+        self.replanner = CostAwareReplanner(
+            self.policy.reschedule_cost_cycles,
+            cycles_per_tuple=self.policy.cycles_per_tuple,
+            amortize_factor=self.policy.amortize_factor,
+            burst_tuples=self.policy.burst_tuples,
+            hysteresis_windows=self.policy.hysteresis_windows,
+        )
+        self.cache = PlanCache(self.policy.cache_capacity,
+                               self.policy.signature_levels)
+        self.autoscaler = None if slo is None else Autoscaler(
+            slo,
+            min_workers=self.policy.min_workers,
+            max_workers=self.policy.max_workers,
+            shrink_margin=self.policy.shrink_margin,
+            cooldown_checks=self.policy.scale_cooldown,
+        )
+        self.frozen = False
+        self.windows = 0
+        self.tuples = 0
+        self._tuples_at_last_drift = 0
+        self._plan_born_window = 0
+        self._scale_tuples = 0
+        self._scale_busy_cycles = 0
+        # Persistent-shift tracking: the previous window's histogram and
+        # how many consecutive drifted windows matched it.
+        self._previous_histogram = None
+        self._settled_drift_windows = 0
+
+    # ------------------------------------------------------------------
+    # The per-window decision point
+    # ------------------------------------------------------------------
+    def on_window(self, keys: np.ndarray, tuples: int) -> str:
+        """Consulted by the service once per closed window, pre-split.
+
+        Returns the action taken (for logs and tests): ``"plan"``,
+        ``"replan"``, ``"hold"``, ``"freeze"``, ``"frozen"``, or
+        ``"steady"``.
+        """
+        self.windows += 1
+        self.tuples += tuples
+        self.balancer.observe(keys)  # histogram only: auto_replan is off
+        histogram = self.balancer.last_histogram
+        action = "steady"
+        if histogram is None:
+            action = "steady"
+        elif self.balancer.plan is None:
+            # First window after startup or a fleet reshape: adopt a plan
+            # without charging a stall (nothing was running on the old
+            # plan — the fleet analogue of the initial profiling round).
+            self._adopt_plan(histogram, initial=True)
+            action = "plan"
+        elif self.frozen:
+            # Burst-absorption regime: the control loop is off, exactly
+            # like the profiler's reschedule_threshold=0 mode.
+            action = "frozen"
+        else:
+            report = self.detector.update(histogram)
+            if report.drifted:
+                self.metrics.record_control(drift=1)
+                interval = self.tuples - self._tuples_at_last_drift
+                self._tuples_at_last_drift = self.tuples
+                if self._drift_has_settled(histogram):
+                    # The stream moved once and is now holding still at
+                    # a new distribution: every window drifts vs the
+                    # stale reference, but window-to-window the load is
+                    # stable.  That is NOT thrashing — one replan
+                    # amortises immediately — so override the
+                    # interval-based regime call.
+                    decision = ReplanDecision.REPLAN
+                else:
+                    decision = self.replanner.decide(
+                        interval, report.windows_since_rebase)
+                if decision is ReplanDecision.REPLAN:
+                    self._adopt_plan(histogram)
+                    action = "replan"
+                elif decision is ReplanDecision.FREEZE:
+                    self.frozen = True
+                    self.metrics.record_control(suppressed=1)
+                    action = "freeze"
+                else:
+                    self.metrics.record_control(suppressed=1)
+                    action = "hold"
+            else:
+                self._settled_drift_windows = 0
+        self._previous_histogram = histogram
+        self._maybe_autoscale()
+        return action
+
+    def _drift_has_settled(self, histogram) -> bool:
+        """True when drifted windows agree with each other, not the plan.
+
+        Counts consecutive drifted windows whose histogram matches the
+        *previous* window's (TV below the drift threshold); after
+        ``hysteresis_windows`` of those, the shift is persistent rather
+        than ongoing churn.
+        """
+        previous = self._previous_histogram
+        if (previous is not None and len(previous) == len(histogram)
+                and total_variation(histogram, previous)
+                < self.policy.drift_threshold):
+            self._settled_drift_windows += 1
+        else:
+            self._settled_drift_windows = 0
+        return self._settled_drift_windows >= self.policy.hysteresis_windows
+
+    def unfreeze(self) -> None:
+        """Re-arm the control loop after a burst-absorption freeze."""
+        self.frozen = False
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        autoscale = ("off" if self.autoscaler is None
+                     else f"slo={self.autoscaler.slo:g} c/t")
+        return (f"adaptive control ({self.windows} windows, "
+                f"cache {self.cache.hits}/{self.cache.hits + self.cache.misses} hits, "
+                f"autoscale {autoscale}"
+                f"{', frozen' if self.frozen else ''})")
+
+    # ------------------------------------------------------------------
+    # Plan application
+    # ------------------------------------------------------------------
+    def _adopt_plan(self, histogram: np.ndarray,
+                    initial: bool = False) -> None:
+        plan, hit = self.cache.get_or_build(
+            histogram,
+            lambda: greedy_secpe_plan(histogram, self.balancer.secondaries,
+                                      self.balancer.primaries),
+        )
+        plan_age = self.windows - self._plan_born_window
+        self.balancer.apply_plan(plan)
+        self.detector.rebase(histogram)
+        self._plan_born_window = self.windows
+        self._settled_drift_windows = 0
+        cost = self.policy.reschedule_cost_cycles
+        self.metrics.record_control(
+            cache_hits=int(hit),
+            cache_misses=int(not hit),
+            replans=0 if initial else 1,
+            stall_cycles=0 if initial else cost,
+            plan_age=None if initial else plan_age,
+        )
+
+    # ------------------------------------------------------------------
+    # Elastic sizing
+    # ------------------------------------------------------------------
+    def _maybe_autoscale(self) -> None:
+        if self.autoscaler is None:
+            return
+        if self.windows % self.policy.autoscale_every != 0:
+            return
+        # Barrier: let every dispatched shard land in the metrics so the
+        # decision is a deterministic function of the stream.  The busy
+        # measurement covers only the *current* fleet — workers removed
+        # by an earlier scale-down keep their counters for reporting,
+        # but must not freeze the delta.
+        self.pool.drain()
+        tuples = self.metrics.total_tuples()
+        busy = self.metrics.busiest_worker_cycles(within=self.pool.size)
+        decision = self.autoscaler.decide(
+            tuples - self._scale_tuples,
+            busy - self._scale_busy_cycles,
+            self.pool.size,
+        )
+        self._scale_tuples = tuples
+        self._scale_busy_cycles = busy
+        if decision.size == self.pool.size:
+            return
+        growing = decision.size > self.pool.size
+        if growing:
+            # Start the new workers before routing can reach them.
+            self.pool.resize(decision.size)
+            self.balancer.reconfigure(decision.size)
+        else:
+            # Stop routing to doomed workers before stopping them; their
+            # partial sessions stay in the pool for collection.
+            self.balancer.reconfigure(decision.size)
+            self.pool.resize(decision.size)
+        # The fleet shape changed: cached plans and the drift reference
+        # describe a histogram space that no longer exists, and the busy
+        # baseline must restart from the surviving workers (a removed
+        # worker may have held the old maximum).
+        self.cache.clear()
+        self.detector.reset()
+        self._plan_born_window = self.windows
+        self._previous_histogram = None
+        self._settled_drift_windows = 0
+        self._scale_busy_cycles = self.metrics.busiest_worker_cycles(
+            within=self.pool.size)
+        self.metrics.record_control(
+            scale_ups=int(growing), scale_downs=int(not growing))

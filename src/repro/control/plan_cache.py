@@ -1,0 +1,121 @@
+"""LRU cache of scheduling plans keyed by quantized histogram signatures.
+
+Production streams revisit distributions: diurnal tenants, A/B flips,
+failover traffic returning to its home shard.  Re-running the greedy
+helper plan for a distribution the fleet has already planned is pure
+waste — the plan depends only on the shard histogram's *shape*.  The
+cache therefore keys plans by a coarse signature of the normalized
+histogram: each shard's share quantized to ``levels`` buckets, so two
+samples of the same underlying distribution (which differ by sampling
+noise well below one bucket) collapse onto the same key, while a moved
+hot shard lands in a different one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.profiler import SchedulingPlan
+
+
+def histogram_signature(
+    histogram: np.ndarray, levels: int = 8
+) -> Tuple[int, ...]:
+    """Quantized shape of a shard histogram.
+
+    Each shard's share of the total mass is rounded to ``levels`` equal
+    buckets; the signature is the tuple of bucket indices.  ``levels``
+    trades cache precision for noise immunity: with 8 levels, two
+    samples must disagree by ~6% of total mass on one shard to produce
+    different signatures — far above the sampling noise of a
+    few-thousand-key profile, far below a hot shard changing hands.
+    """
+    if levels <= 0:
+        raise ValueError("levels must be positive")
+    hist = np.asarray(histogram, dtype=np.float64)
+    total = hist.sum()
+    if total <= 0:
+        return tuple(np.zeros(len(hist), dtype=int))
+    return tuple(np.round(hist / total * levels).astype(int).tolist())
+
+
+class PlanCache:
+    """Bounded LRU of :class:`SchedulingPlan`s by histogram signature.
+
+    Entries are only valid for one fleet shape (primaries x secondaries);
+    the controller calls :meth:`clear` whenever the fleet is resized.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained plans; least-recently-used entries evict first.
+    levels:
+        Quantization granularity forwarded to
+        :func:`histogram_signature`.
+    """
+
+    def __init__(self, capacity: int = 32, levels: int = 8) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.levels = levels
+        self._plans: "OrderedDict[Tuple[int, ...], SchedulingPlan]" = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def lookup(self, histogram: np.ndarray) -> Optional[SchedulingPlan]:
+        """Cached plan for a histogram's signature, or None (counted)."""
+        signature = histogram_signature(histogram, self.levels)
+        plan = self._plans.get(signature)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(signature)
+        self.hits += 1
+        return plan
+
+    def store(self, histogram: np.ndarray, plan: SchedulingPlan) -> None:
+        """Insert (or refresh) a plan under the histogram's signature."""
+        signature = histogram_signature(histogram, self.levels)
+        self._plans[signature] = plan
+        self._plans.move_to_end(signature)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+
+    def get_or_build(
+        self,
+        histogram: np.ndarray,
+        builder: Callable[[], SchedulingPlan],
+    ) -> Tuple[SchedulingPlan, bool]:
+        """Cached plan if present, else build and store one.
+
+        Returns ``(plan, hit)`` where ``hit`` says whether the plan came
+        from the cache.
+        """
+        plan = self.lookup(histogram)
+        if plan is not None:
+            return plan, True
+        plan = builder()
+        self.store(histogram, plan)
+        return plan, False
+
+    def clear(self) -> None:
+        """Drop every entry (fleet reshaped; plans no longer valid).
+
+        Hit/miss counters survive — they describe the cache's lifetime
+        effectiveness, not the current fleet shape.
+        """
+        self._plans.clear()

@@ -23,6 +23,11 @@ workers serving many clients:
     poll / result / run.
 ``metrics``
     Deterministic fleet accounting (simulated-cycle makespan).
+
+The adaptive control plane — drift detection, cost-aware replanning,
+plan caching and elastic autoscaling around this fleet — lives in
+:mod:`repro.control` and is enabled with
+``StreamService(adaptive=True, slo=...)``.
 """
 
 from repro.service.balancer import (

@@ -29,7 +29,11 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.profiler import SchedulingPlan, plan_for_destinations
+from repro.core.profiler import (
+    SchedulingPlan,
+    greedy_secpe_plan,
+    workload_histogram,
+)
 from repro.hashing.murmur3 import murmur3_32_array
 from repro.workloads.tuples import TupleBatch
 
@@ -114,11 +118,26 @@ class SkewAwareBalancer(FleetBalancer):
         shards.
     profile_sample:
         Keys profiled per segment before (re)planning; the paper samples
-        a short profiling window rather than the full stream.
+        a short profiling window rather than the full stream.  Segments
+        larger than this are subsampled with a seeded RNG so ``observe``
+        stays O(profile_sample) on the serving hot path.
+    auto_replan:
+        When True (default), every ``observe`` refreshes the greedy
+        helper plan — the reflexive per-segment rescheduling the paper's
+        Fig. 9 shows can thrash.  The adaptive control plane
+        (:mod:`repro.control`) turns this off and supplies plans
+        explicitly through :meth:`apply_plan`; ``observe`` then only
+        records the sample histogram in :attr:`last_histogram`.
+    sample_seed:
+        Seed of the profiling subsampler (deterministic replays).
     """
 
+    #: Seed for the profiling subsampler (distinct from the shard seeds).
+    SAMPLE_SEED = 0x5A3C1E
+
     def __init__(self, workers: int, secondaries: Optional[int] = None,
-                 profile_sample: int = 4096) -> None:
+                 profile_sample: int = 4096, auto_replan: bool = True,
+                 sample_seed: int = SAMPLE_SEED) -> None:
         super().__init__(workers)
         if secondaries is None:
             secondaries = max(1, workers // 4) if workers > 1 else 0
@@ -130,33 +149,102 @@ class SkewAwareBalancer(FleetBalancer):
         self.primaries = workers - secondaries
         self.secondaries = secondaries
         self.profile_sample = profile_sample
+        self.auto_replan = auto_replan
+        self._rng = np.random.default_rng(sample_seed)
         self.plan: Optional[SchedulingPlan] = None
+        self.last_histogram: Optional[np.ndarray] = None
+        self.reconfigurations = 0
         self._teams: List[List[int]] = [
             [p] for p in range(self.primaries)
         ]
+        # Sticky by-key ownership: non-splittable kernels need each key's
+        # tuples on ONE worker for a job's whole lifetime, across
+        # rebalances and team reconfigurations.  Grows with the distinct
+        # keys of by-key jobs; reset_key_ownership() between tenants.
+        self._key_owner: Dict[int, int] = {}
+
+    def sample_keys(self, keys: np.ndarray) -> np.ndarray:
+        """A profiling sample of at most ``profile_sample`` keys.
+
+        Sampling (with replacement, seeded) rather than truncating makes
+        the histogram representative of the whole segment instead of its
+        head, at the same O(profile_sample) cost.
+        """
+        if len(keys) <= self.profile_sample:
+            return keys
+        chosen = self._rng.integers(0, len(keys), size=self.profile_sample)
+        return keys[chosen]
 
     def observe(self, keys: np.ndarray) -> None:
-        """Histogram a key sample and refresh the greedy helper plan."""
+        """Histogram a key sample; refresh the plan if auto-replanning."""
         if len(keys) == 0:
             return
-        sample = keys[: self.profile_sample]
-        plan = plan_for_destinations(
-            shard_of_keys(sample, self.primaries),
-            self.secondaries, self.primaries,
-        )
+        sample = self.sample_keys(keys)
+        histogram = workload_histogram(
+            shard_of_keys(sample, self.primaries), self.primaries)
+        self.last_histogram = histogram
+        if not self.auto_replan:
+            return
+        self.apply_plan(greedy_secpe_plan(histogram, self.secondaries,
+                                          self.primaries))
+
+    def apply_plan(self, plan: SchedulingPlan) -> None:
+        """Install an externally-supplied (or freshly built) helper plan.
+
+        Worker IDs: primaries are 0..M-1; the plan's SecPE IDs M..M+X-1
+        map one-to-one onto the secondary workers.
+        """
+        for secpe_id, target in plan.pairs:
+            if not 0 <= target < self.primaries:
+                raise ValueError(
+                    f"plan targets primary {target}, fleet has "
+                    f"{self.primaries}")
+            if not self.primaries <= secpe_id < self.workers:
+                raise ValueError(
+                    f"plan uses secondary {secpe_id}, fleet has workers "
+                    f"{self.primaries}..{self.workers - 1}")
         if self.plan is not None and plan.pairs != self.plan.pairs:
             self.rebalances += 1
         self.plan = plan
-        # Worker IDs: primaries are 0..M-1; the plan's SecPE IDs M..M+X-1
-        # map one-to-one onto the secondary workers.
         teams: List[List[int]] = [[p] for p in range(self.primaries)]
         for secpe_id, target in plan.pairs:
             teams[target].append(secpe_id)
         self._teams = teams
 
+    def reconfigure(self, workers: int,
+                    secondaries: Optional[int] = None) -> None:
+        """Reshape the fleet: new worker count and primary/secondary split.
+
+        Called by the autoscaler after resizing the worker pool; also
+        usable on its own to convert primaries into secondaries (or back)
+        at a fixed fleet size.  The active plan and last histogram are
+        dropped — they describe a shard space that no longer exists — so
+        the next plan starts fresh.  Sticky by-key ownership survives:
+        keys whose owner still exists stay put, only keys owned by a
+        removed worker are reassigned.
+        """
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if secondaries is None:
+            secondaries = max(1, workers // 4) if workers > 1 else 0
+        if not 0 <= secondaries < workers:
+            raise ValueError(
+                "secondaries must leave at least one primary worker")
+        self.workers = workers
+        self.primaries = workers - secondaries
+        self.secondaries = secondaries
+        self.plan = None
+        self.last_histogram = None
+        self._teams = [[p] for p in range(self.primaries)]
+        self.reconfigurations += 1
+
     def team_of(self, primary: int) -> List[int]:
         """Workers currently serving one primary shard."""
         return list(self._teams[primary])
+
+    def reset_key_ownership(self) -> None:
+        """Forget sticky by-key assignments (e.g. between tenants)."""
+        self._key_owner.clear()
 
     #: Seed for intra-team key spreading; distinct from the shard seed
     #: so a shard's keys do not all collapse onto one team lane.
@@ -164,6 +252,8 @@ class SkewAwareBalancer(FleetBalancer):
 
     def split(self, batch: TupleBatch,
               by_key: bool = False) -> Dict[int, TupleBatch]:
+        if by_key:
+            return self._split_by_key(batch)
         shards = shard_of_keys(batch.keys, self.primaries)
         out: Dict[int, TupleBatch] = {}
         for primary in range(self.primaries):
@@ -171,20 +261,8 @@ class SkewAwareBalancer(FleetBalancer):
             if positions.size == 0:
                 continue
             team = self._teams[primary]
-            if by_key and len(team) > 1:
-                # Keep each key whole: spread the shard's *keys* (not
-                # tuples) across the team.  A single mega-hot key then
-                # stays on one worker — correct results first, with
-                # balancing limited to the key granularity.
-                lanes = shard_of_keys(batch.keys[positions], len(team),
-                                      seed=self.TEAM_SEED)
-            else:
-                lanes = None
             for lane, worker in enumerate(team):
-                if lanes is None:
-                    chosen = positions[lane::len(team)]
-                else:
-                    chosen = positions[lanes == lane]
+                chosen = positions[lane::len(team)]
                 if chosen.size == 0:
                     continue
                 out[worker] = TupleBatch(batch.keys[chosen],
@@ -192,10 +270,63 @@ class SkewAwareBalancer(FleetBalancer):
                                          batch.tuple_bytes)
         return out
 
+    def _split_by_key(self, batch: TupleBatch) -> Dict[int, TupleBatch]:
+        """Key-granular split with sticky ownership.
+
+        Non-splittable kernels (heavy hitters) keep per-key state that
+        must never be diluted across workers, not just within one window
+        but across the job's lifetime: the first worker to see a key owns
+        it until that worker leaves the fleet, whatever rebalances or
+        reconfigurations happen in between.  New keys are placed with the
+        *current* team routing, so balancing still helps fresh traffic.
+        """
+        uniques, inverse = np.unique(batch.keys, return_inverse=True)
+        owners = np.array(
+            [self._key_owner.get(key, -1) for key in uniques.tolist()],
+            dtype=np.int64)
+        unseen = np.nonzero((owners < 0) | (owners >= self.workers))[0]
+        if unseen.size:
+            placed = self._place_keys(uniques[unseen])
+            owners[unseen] = placed
+            for key, worker in zip(uniques[unseen].tolist(),
+                                   placed.tolist()):
+                self._key_owner[key] = worker
+        per_tuple = owners[inverse]
+        out: Dict[int, TupleBatch] = {}
+        for worker in np.unique(per_tuple):
+            mask = per_tuple == worker
+            out[int(worker)] = TupleBatch(batch.keys[mask],
+                                          batch.values[mask],
+                                          batch.tuple_bytes)
+        return out
+
+    def _place_keys(self, keys: np.ndarray) -> np.ndarray:
+        """First-placement of unseen keys: each shard's team, hashed by
+        key.
+
+        Spreading a shard's *keys* (not tuples) across the team keeps a
+        single mega-hot key on one worker — correct results first, with
+        balancing limited to the key granularity.  Vectorised per
+        primary: two hash passes per occupied shard, not per key.
+        """
+        primaries = shard_of_keys(keys, self.primaries)
+        placed = np.empty(len(keys), dtype=np.int64)
+        for primary in np.unique(primaries):
+            team = self._teams[primary]
+            mask = primaries == primary
+            if len(team) == 1:
+                placed[mask] = team[0]
+            else:
+                lanes = shard_of_keys(keys[mask], len(team),
+                                      seed=self.TEAM_SEED)
+                placed[mask] = np.asarray(team, dtype=np.int64)[lanes]
+        return placed
+
     def describe(self) -> str:
+        mode = "auto" if self.auto_replan else "controlled"
         return (f"skew-aware ({self.primaries} primary + "
                 f"{self.secondaries} secondary workers, "
-                f"{self.rebalances} rebalances)")
+                f"{self.rebalances} rebalances, {mode})")
 
 
 def make_balancer(name: str, workers: int, **kwargs) -> FleetBalancer:

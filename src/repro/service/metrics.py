@@ -1,17 +1,39 @@
-"""Service-level observability: per-worker throughput, queues, rebalances.
+"""Service-level observability: per-worker throughput, queues, control.
 
 All counters are in *simulated* kernel cycles, not Python wall time: the
 worker threads interleave on the host, but each pipeline instance's cycle
 count is deterministic, so the fleet makespan — the cycles of the
-busiest worker, since real workers run in parallel — is the meaningful
-(and reproducible) throughput denominator.
+busiest worker, since real workers run in parallel, plus any fleet-wide
+rescheduling stalls — is the meaningful (and reproducible) throughput
+denominator.
+
+Long-lived services must not grow without bound, so time-series samples
+(queue depths, plan ages) live in fixed-size ring buffers: the newest
+``QUEUE_DEPTH_WINDOW`` samples answer the p50/p95 questions operators
+actually ask, and the oldest fall off the back.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Deque, Dict, List, Optional
+
+import numpy as np
+
+#: Retained queue-depth samples (ring buffer; ~the recent dispatch past).
+QUEUE_DEPTH_WINDOW = 1024
+
+#: Retained plan ages (windows a plan survived before being replaced).
+PLAN_AGE_WINDOW = 256
+
+
+def _percentile(samples: List[int], q: float) -> float:
+    """q-th percentile of a sample list (0.0 when empty)."""
+    if not samples:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
 
 
 @dataclass
@@ -40,7 +62,19 @@ class ServiceMetrics:
     jobs_failed: int = 0
     jobs_cancelled: int = 0
     rebalances: int = 0
-    queue_depth_samples: List[int] = field(default_factory=list)
+    queue_depth_samples: Deque[int] = field(
+        default_factory=lambda: deque(maxlen=QUEUE_DEPTH_WINDOW))
+    # --- control plane (repro.control) ---
+    drift_events: int = 0
+    replans_applied: int = 0
+    replans_suppressed: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    scale_up_events: int = 0
+    scale_down_events: int = 0
+    reschedule_stall_cycles: int = 0
+    plan_ages: Deque[int] = field(
+        default_factory=lambda: deque(maxlen=PLAN_AGE_WINDOW))
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
 
@@ -64,6 +98,38 @@ class ServiceMetrics:
         with self._lock:
             self.queue_depth_samples.append(depth)
 
+    def record_control(
+        self,
+        *,
+        drift: int = 0,
+        replans: int = 0,
+        suppressed: int = 0,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+        scale_ups: int = 0,
+        scale_downs: int = 0,
+        stall_cycles: int = 0,
+        plan_age: Optional[int] = None,
+    ) -> None:
+        """Fold one control-plane event into the counters.
+
+        ``stall_cycles`` models the fleet-wide cost of applying a plan
+        (detection + drain + re-enqueue + re-profiling); it extends the
+        makespan because every worker pauses while kernels re-enqueue.
+        ``plan_age`` is how many windows the retired plan served.
+        """
+        with self._lock:
+            self.drift_events += drift
+            self.replans_applied += replans
+            self.replans_suppressed += suppressed
+            self.plan_cache_hits += cache_hits
+            self.plan_cache_misses += cache_misses
+            self.scale_up_events += scale_ups
+            self.scale_down_events += scale_downs
+            self.reschedule_stall_cycles += stall_cycles
+            if plan_age is not None:
+                self.plan_ages.append(plan_age)
+
     # ------------------------------------------------------------------
     # Fleet-level aggregates
     # ------------------------------------------------------------------
@@ -71,12 +137,26 @@ class ServiceMetrics:
         with self._lock:
             return sum(stats.tuples for stats in self.workers.values())
 
-    def makespan_cycles(self) -> int:
-        """Cycles of the busiest worker — the fleet completion time."""
+    def busiest_worker_cycles(self, within: Optional[int] = None) -> int:
+        """Cycles of the busiest worker (excludes rescheduling stalls).
+
+        ``within`` restricts the max to worker IDs below it — the
+        autoscaler passes the current pool size so workers removed by an
+        earlier scale-down (whose counters are retained for reporting)
+        cannot freeze the measurement.
+        """
         with self._lock:
-            if not self.workers:
-                return 0
-            return max(stats.cycles for stats in self.workers.values())
+            cycles = [stats.cycles for worker, stats in self.workers.items()
+                      if within is None or worker < within]
+            return max(cycles, default=0)
+
+    def makespan_cycles(self) -> int:
+        """Fleet completion time: busiest worker plus fleet-wide stalls."""
+        with self._lock:
+            busiest = max(
+                (stats.cycles for stats in self.workers.values()),
+                default=0)
+            return busiest + self.reschedule_stall_cycles
 
     def fleet_throughput(self) -> float:
         """Fleet tuples per cycle: total work over the busiest worker.
@@ -95,6 +175,62 @@ class ServiceMetrics:
         if not cycles or sum(cycles) == 0:
             return 1.0
         return max(cycles) / (sum(cycles) / len(cycles))
+
+    def plan_cache_hit_rate(self) -> float:
+        """Cache hits over lookups (0.0 before any plan lookup)."""
+        lookups = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time machine-readable summary of the whole service.
+
+        Queue depth is reported as percentiles over the retained ring
+        buffer (p50/p95), not the raw series — the series is bounded, the
+        percentiles are what SLO dashboards plot.
+        """
+        with self._lock:
+            worker_cycles = [s.cycles for s in self.workers.values()]
+            total_tuples = sum(s.tuples for s in self.workers.values())
+            busiest = max(worker_cycles, default=0)
+            makespan = busiest + self.reschedule_stall_cycles
+            depths = list(self.queue_depth_samples)
+            ages = list(self.plan_ages)
+            snap: Dict[str, Any] = {
+                "jobs": {
+                    "submitted": self.jobs_submitted,
+                    "completed": self.jobs_completed,
+                    "failed": self.jobs_failed,
+                    "cancelled": self.jobs_cancelled,
+                },
+                "windows_closed": self.windows_closed,
+                "tuples_windowed": self.tuples_windowed,
+                "late_tuples": self.late_tuples,
+                "total_tuples": total_tuples,
+                "busiest_worker_cycles": busiest,
+                "makespan_cycles": makespan,
+                "fleet_throughput": (total_tuples / makespan
+                                     if makespan else 0.0),
+                "rebalances": self.rebalances,
+                "queue_depth": {
+                    "p50": _percentile(depths, 50),
+                    "p95": _percentile(depths, 95),
+                    "peak": max(depths, default=0),
+                    "samples": len(depths),
+                },
+                "control": {
+                    "drift_events": self.drift_events,
+                    "replans_applied": self.replans_applied,
+                    "replans_suppressed": self.replans_suppressed,
+                    "plan_cache_hits": self.plan_cache_hits,
+                    "plan_cache_misses": self.plan_cache_misses,
+                    "plan_cache_hit_rate": self.plan_cache_hit_rate(),
+                    "scale_up_events": self.scale_up_events,
+                    "scale_down_events": self.scale_down_events,
+                    "reschedule_stall_cycles": self.reschedule_stall_cycles,
+                    "plan_age_p50": _percentile(ages, 50),
+                },
+            }
+        return snap
 
     def render(self) -> str:
         """Human-readable summary (the CLI's ``serve`` report)."""
@@ -126,8 +262,20 @@ class ServiceMetrics:
             f"of {self.jobs_submitted} submitted")
         lines.append(f"rebalances       : {self.rebalances}")
         if self.queue_depth_samples:
+            depths = list(self.queue_depth_samples)
             lines.append(
-                f"queue depth      : peak "
-                f"{max(self.queue_depth_samples)}, last "
-                f"{self.queue_depth_samples[-1]}")
+                f"queue depth      : p50 {_percentile(depths, 50):.0f}, "
+                f"p95 {_percentile(depths, 95):.0f}, "
+                f"peak {max(depths)}, last {depths[-1]}")
+        if (self.drift_events or self.replans_applied
+                or self.replans_suppressed or self.scale_up_events
+                or self.scale_down_events):
+            lines.append(
+                f"control plane    : {self.drift_events} drift events, "
+                f"{self.replans_applied} replans "
+                f"({self.replans_suppressed} suppressed, "
+                f"cache {self.plan_cache_hits}/"
+                f"{self.plan_cache_hits + self.plan_cache_misses} hit), "
+                f"scale +{self.scale_up_events}/-{self.scale_down_events}, "
+                f"stalls {self.reschedule_stall_cycles:,} cycles")
         return "\n".join(lines)

@@ -144,6 +144,42 @@ class WorkerPool:
         for worker in self._workers:
             worker.inbox.join()
 
+    def resize(self, workers: int) -> None:
+        """Grow or shrink the fleet to ``workers`` pipeline instances.
+
+        Growing starts fresh worker threads immediately (if the pool is
+        running).  Shrinking stops the highest-numbered workers after
+        they drain their queued items; their per-job partial sessions
+        stay registered so :meth:`collect` still merges them.  Callers
+        must stop routing to removed worker IDs first (the balancer's
+        ``reconfigure`` does this).
+        """
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if workers == self.size:
+            return
+        if workers > self.size:
+            grown = [_Worker(i, self) for i in range(self.size, workers)]
+            self._workers.extend(grown)
+            self.size = workers
+            if self._started:
+                for worker in grown:
+                    worker.start()
+            return
+        removed = self._workers[workers:]
+        self._workers = self._workers[:workers]
+        self.size = workers
+        if self._started:
+            for worker in removed:
+                worker.inbox.put(_STOP)
+            for worker in removed:
+                worker.join(timeout=60.0)
+            hung = [w.worker_id for w in removed if w.is_alive()]
+            if hung:
+                raise RuntimeError(
+                    f"workers {hung} did not stop within 60s during "
+                    "scale-down")
+
     # ------------------------------------------------------------------
     # Session management and collection
     # ------------------------------------------------------------------
@@ -187,9 +223,13 @@ class WorkerPool:
         partials: List[StreamingSession] = []
         with self._lock:
             self._errors.pop(job_id, None)
-            for worker_id in range(self.size):
-                partial = self._sessions.pop((worker_id, job_id), None)
-                if partial is not None and partial.history:
+            # Iterate the session registry, not range(size): workers
+            # removed by a scale-down still hold partials to merge.
+            owned = sorted(key for key in self._sessions
+                           if key[1] == job_id)
+            for key in owned:
+                partial = self._sessions.pop(key)
+                if partial.history:
                     partials.append(partial)
         if not partials:
             return None

@@ -28,10 +28,16 @@ from typing import Any, Dict, Iterable, Optional, Union
 
 import numpy as np
 
+from repro.control.controller import AdaptiveController, ControlPolicy
+from repro.control.replanner import default_reschedule_cost_cycles
 from repro.core.config import ArchitectureConfig
 from repro.core.fastpath import validate_engine
 from repro.runtime.session import StreamingSession
-from repro.service.balancer import FleetBalancer, make_balancer
+from repro.service.balancer import (
+    FleetBalancer,
+    SkewAwareBalancer,
+    make_balancer,
+)
 from repro.service.jobs import (
     Job,
     JobResult,
@@ -69,6 +75,28 @@ class StreamService:
         with vectorised reductions and modeled cycles
         (:mod:`repro.core.fastpath`); ``"cycle"`` ticks the full
         per-cycle simulator for every window shard.
+    adaptive:
+        Enable the :mod:`repro.control` control plane: the balancer
+        stops replanning reflexively on every window and an
+        :class:`~repro.control.controller.AdaptiveController` decides
+        per closed window whether drift justifies a replan (with plan
+        caching) and — given an SLO — whether to resize the fleet.
+        Requires the skew-aware balancer.
+    slo:
+        Cycles-per-tuple service objective enabling elastic autoscaling
+        (only meaningful with ``adaptive=True``).  None keeps the fleet
+        size fixed.
+    control:
+        Optional :class:`~repro.control.controller.ControlPolicy`
+        overriding the controller's default tunables.
+    reschedule_cost_cycles:
+        Fleet-wide stall (simulated cycles) charged to the makespan each
+        time the active plan *changes* — the serving-level analogue of
+        the paper's detection + drain + re-enqueue + re-profiling cost.
+        The default None keeps rescheduling free (the historical
+        accounting) for non-adaptive services and derives a cost from
+        the architecture configuration for adaptive ones; an explicit
+        value (including 0) is honored as given in both modes.
     """
 
     def __init__(
@@ -79,6 +107,10 @@ class StreamService:
         max_cycles_per_segment: int = 20_000_000,
         allowed_lateness: float = 0.0,
         engine: str = "fast",
+        adaptive: bool = False,
+        slo: Optional[float] = None,
+        control: Optional[ControlPolicy] = None,
+        reschedule_cost_cycles: Optional[int] = None,
     ) -> None:
         self.config = config or ArchitectureConfig(
             lanes=8, pripes=16, secpes=0, reschedule_threshold=0.0)
@@ -91,9 +123,38 @@ class StreamService:
         self.metrics = ServiceMetrics()
         self.max_cycles_per_segment = max_cycles_per_segment
         self.allowed_lateness = allowed_lateness
+        if reschedule_cost_cycles is not None and reschedule_cost_cycles < 0:
+            raise ValueError("reschedule_cost_cycles must be non-negative")
+        self.reschedule_cost_cycles = reschedule_cost_cycles or 0
         self._queue = JobQueue()
         self._jobs: Dict[str, Job] = {}
         self._pool = WorkerPool(workers, self._make_session, self.metrics)
+        self._controller: Optional[AdaptiveController] = None
+        if adaptive:
+            if not isinstance(self.balancer, SkewAwareBalancer):
+                raise ValueError(
+                    "adaptive control requires the skew-aware balancer")
+            policy = control or ControlPolicy()
+            if policy.reschedule_cost_cycles is None:
+                # Precedence: the policy's cost, else the service-level
+                # knob (an explicit 0 means free), else the derived
+                # default from the architecture configuration.
+                policy = policy.with_cost(
+                    reschedule_cost_cycles
+                    if reschedule_cost_cycles is not None
+                    else default_reschedule_cost_cycles(self.config))
+            # Reacting is the controller's call now, not a reflex.
+            self.balancer.auto_replan = False
+            self._controller = AdaptiveController(
+                self.balancer, self._pool, self.metrics,
+                policy=policy, slo=slo)
+        elif slo is not None or control is not None:
+            raise ValueError("slo/control require adaptive=True")
+
+    @property
+    def controller(self) -> Optional[AdaptiveController]:
+        """The adaptive controller, or None when ``adaptive=False``."""
+        return self._controller
 
     # ------------------------------------------------------------------
     # Client API
@@ -214,6 +275,16 @@ class StreamService:
         # Non-splittable kernels (heavy hitters) need every key's tuples
         # on one worker; a class-level contract, no kernel built.
         by_key = not kernel_class_for(job.app).splittable
+        if by_key and isinstance(self.balancer, SkewAwareBalancer):
+            # Sticky ownership is a per-job contract (sessions are per
+            # (worker, job)): forget the previous tenant's pins so this
+            # job's keys place under the *current* plan and the map
+            # cannot grow without bound across jobs.
+            self.balancer.reset_key_ownership()
+        if self._controller is not None:
+            # A freeze is a per-workload verdict, not a service-lifetime
+            # one: re-arm the control loop for the new job's stream.
+            self._controller.unfreeze()
         try:
             for events in job.source:
                 self._dispatch(job, windows.observe(events), by_key)
@@ -253,7 +324,19 @@ class StreamService:
             if len(batch) == 0:
                 continue
             self.metrics.record_window(len(batch))
-            self.balancer.observe(np.asarray(batch.keys))
+            keys = np.asarray(batch.keys)
+            if self._controller is not None:
+                self._controller.on_window(keys, len(batch))
+            else:
+                # Legacy reflexive path: observe replans as a side
+                # effect; charge the stall for every plan change so the
+                # accounting matches the adaptive path's.
+                changes_before = self.balancer.rebalances
+                self.balancer.observe(keys)
+                changed = self.balancer.rebalances - changes_before
+                if changed and self.reschedule_cost_cycles:
+                    self.metrics.record_control(
+                        stall_cycles=changed * self.reschedule_cost_cycles)
             shards = self.balancer.split(batch, by_key=by_key)
             for worker_id, shard in shards.items():
                 self._pool.dispatch(

@@ -15,7 +15,7 @@ number of tuples that arrive within one interval at the given rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -47,6 +47,12 @@ class EvolvingZipfStream:
         Stream length.
     universe / base_seed / tuple_bytes:
         Forwarded to the per-segment :class:`ZipfGenerator`.
+    seed_cycle:
+        When set, segment seeds cycle through ``seed_cycle`` distinct
+        values instead of being fresh forever — the recurring-workload
+        shape (diurnal tenants, A/B flips) the control plane's plan
+        cache exploits.  None (default) keeps every segment's seed
+        unique, as in Fig. 9.
     """
 
     alpha: float
@@ -55,12 +61,15 @@ class EvolvingZipfStream:
     universe: int = 1 << 20
     base_seed: int = 7
     tuple_bytes: int = 8
+    seed_cycle: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.interval_tuples <= 0:
             raise ValueError("interval_tuples must be positive")
         if self.total_tuples <= 0:
             raise ValueError("total_tuples must be positive")
+        if self.seed_cycle is not None and self.seed_cycle <= 0:
+            raise ValueError("seed_cycle must be positive when set")
 
     @property
     def num_segments(self) -> int:
@@ -73,7 +82,9 @@ class EvolvingZipfStream:
         index = 0
         while produced < self.total_tuples:
             count = min(self.interval_tuples, self.total_tuples - produced)
-            seed = self.base_seed + index * 1_000_003
+            period = index if self.seed_cycle is None \
+                else index % self.seed_cycle
+            seed = self.base_seed + period * 1_000_003
             generator = ZipfGenerator(
                 alpha=self.alpha,
                 universe=self.universe,

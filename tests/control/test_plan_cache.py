@@ -1,0 +1,104 @@
+"""Plan cache: signature quantization, LRU behaviour, hit accounting."""
+
+import numpy as np
+import pytest
+
+from repro.control.plan_cache import PlanCache, histogram_signature
+from repro.core.profiler import SchedulingPlan, greedy_secpe_plan
+
+
+class TestSignature:
+    def test_noise_below_one_bucket_collapses(self):
+        a = np.array([800, 120, 80])
+        b = np.array([790, 128, 82])  # ~1% sampling jitter
+        assert histogram_signature(a) == histogram_signature(b)
+
+    def test_moved_hot_shard_separates(self):
+        a = np.array([800, 120, 80])
+        b = np.array([120, 800, 80])
+        assert histogram_signature(a) != histogram_signature(b)
+
+    def test_scale_invariant(self):
+        hist = np.array([3, 5, 2])
+        assert histogram_signature(hist) == histogram_signature(hist * 100)
+
+    def test_empty_histogram_has_zero_signature(self):
+        assert histogram_signature(np.zeros(3)) == (0, 0, 0)
+
+    def test_levels_validated(self):
+        with pytest.raises(ValueError):
+            histogram_signature(np.ones(2), levels=0)
+
+
+def plan_for(hist):
+    return greedy_secpe_plan(np.asarray(hist, dtype=float), 1, len(hist))
+
+
+class TestPlanCache:
+    def test_miss_then_hit(self):
+        cache = PlanCache(capacity=4)
+        hist = np.array([900, 50, 50])
+        assert cache.lookup(hist) is None
+        cache.store(hist, plan_for(hist))
+        assert cache.lookup(hist) is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_get_or_build_reports_hit_flag(self):
+        cache = PlanCache(capacity=4)
+        hist = np.array([100, 800, 100])
+        plan, hit = cache.get_or_build(hist, lambda: plan_for(hist))
+        assert not hit
+        again, hit = cache.get_or_build(
+            hist, lambda: pytest.fail("builder re-ran on a hit"))
+        assert hit
+        assert again is plan
+
+    def test_lru_evicts_oldest_untouched_entry(self):
+        cache = PlanCache(capacity=2)
+        hot0 = np.array([10, 1, 1])
+        hot1 = np.array([1, 10, 1])
+        hot2 = np.array([1, 1, 10])
+        cache.store(hot0, plan_for(hot0))
+        cache.store(hot1, plan_for(hot1))
+        assert cache.lookup(hot0) is not None  # refresh hot0's recency
+        cache.store(hot2, plan_for(hot2))     # evicts hot1
+        assert cache.lookup(hot1) is None
+        assert cache.lookup(hot0) is not None
+        assert len(cache) == 2
+
+    def test_clear_drops_plans_but_keeps_counters(self):
+        cache = PlanCache(capacity=4)
+        hist = np.array([5, 5])
+        cache.store(hist, plan_for(hist))
+        cache.lookup(hist)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1  # lifetime effectiveness survives
+        assert cache.lookup(hist) is None
+
+    def test_recurring_distributions_converge_to_hits(self):
+        """The benchmark's scenario in miniature: 3 distributions
+        cycling — first pass misses, every later pass hits."""
+        cache = PlanCache(capacity=8)
+        rng = np.random.default_rng(1)
+        bases = [np.array([800, 100, 100]), np.array([100, 820, 80]),
+                 np.array([90, 110, 800])]
+        for cycle in range(4):
+            for base in bases:
+                noisy = base + rng.integers(-8, 8, size=3)
+                plan, hit = cache.get_or_build(
+                    noisy, lambda h=noisy: plan_for(h))
+                assert hit == (cycle > 0)
+        assert cache.hit_rate == pytest.approx(9 / 12)
+
+    def test_stored_plan_roundtrips(self):
+        cache = PlanCache()
+        plan = SchedulingPlan(pairs=[(3, 0)],
+                              workloads=np.array([9.0, 1.0, 1.0]))
+        cache.store(plan.workloads, plan)
+        assert cache.lookup(plan.workloads).pairs == [(3, 0)]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)

@@ -2,8 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core.profiler import plan_for_destinations, workload_histogram
+from repro.core.profiler import (
+    SchedulingPlan,
+    plan_for_destinations,
+    workload_histogram,
+)
 from repro.service.balancer import (
     RoundRobinBalancer,
     SkewAwareBalancer,
@@ -122,6 +127,142 @@ class TestSkewAware:
         balancer.observe(keys)
         assert balancer.plan.pairs == first
         assert balancer.rebalances == 0
+
+
+class TestProfileSampling:
+    def test_sample_is_bounded_by_profile_sample(self):
+        balancer = SkewAwareBalancer(4, profile_sample=256)
+        keys = np.arange(10_000, dtype=np.uint64)
+        assert len(balancer.sample_keys(keys)) == 256
+        # Small segments are profiled whole.
+        assert len(balancer.sample_keys(keys[:100])) == 100
+
+    def test_sampling_is_seeded_and_reproducible(self):
+        keys = ZipfGenerator(alpha=1.5, seed=3).generate(50_000).keys
+        plans = []
+        for _ in range(2):
+            balancer = SkewAwareBalancer(4, profile_sample=512)
+            balancer.observe(keys)
+            plans.append(balancer.plan.pairs)
+        assert plans[0] == plans[1]
+
+    def test_subsample_sees_past_the_segment_head(self):
+        """Truncation would profile only the (cold) head; the seeded
+        subsample must catch a hot key that lives in the tail."""
+        cold = np.arange(8_192, dtype=np.uint64)
+        hot = np.full(32_768, 0x51, dtype=np.uint64)
+        keys = np.concatenate([cold, hot])  # hot mass entirely in tail
+        balancer = SkewAwareBalancer(4, secondaries=1,
+                                     profile_sample=4_096)
+        balancer.observe(keys)
+        hot_primary = int(shard_of_keys(hot[:1], balancer.primaries)[0])
+        assert balancer.plan.pairs[0][1] == hot_primary
+
+
+class TestExternalControl:
+    def test_observe_without_auto_replan_only_histograms(self):
+        balancer = SkewAwareBalancer(4, auto_replan=False)
+        keys = ZipfGenerator(alpha=2.0, seed=1).generate(2_000).keys
+        balancer.observe(keys)
+        assert balancer.plan is None
+        assert balancer.last_histogram is not None
+        assert balancer.last_histogram.sum() == 2_000
+
+    def test_apply_plan_rebuilds_teams_and_counts_changes(self):
+        balancer = SkewAwareBalancer(4, secondaries=1, auto_replan=False)
+        balancer.apply_plan(SchedulingPlan(pairs=[(3, 0)]))
+        assert balancer.team_of(0) == [0, 3]
+        assert balancer.rebalances == 0  # first plan is not a change
+        balancer.apply_plan(SchedulingPlan(pairs=[(3, 2)]))
+        assert balancer.team_of(0) == [0]
+        assert balancer.team_of(2) == [2, 3]
+        assert balancer.rebalances == 1
+
+    def test_apply_plan_validates_worker_ids(self):
+        balancer = SkewAwareBalancer(4, secondaries=1)
+        with pytest.raises(ValueError, match="targets primary"):
+            balancer.apply_plan(SchedulingPlan(pairs=[(3, 7)]))
+        with pytest.raises(ValueError, match="secondary"):
+            balancer.apply_plan(SchedulingPlan(pairs=[(9, 0)]))
+
+    def test_reconfigure_reshapes_and_drops_stale_plan(self):
+        balancer = SkewAwareBalancer(4, secondaries=1)
+        balancer.observe(
+            ZipfGenerator(alpha=2.0, seed=2).generate(2_000).keys)
+        assert balancer.plan is not None
+        balancer.reconfigure(8)
+        assert (balancer.workers, balancer.primaries,
+                balancer.secondaries) == (8, 6, 2)
+        assert balancer.plan is None
+        assert balancer.last_histogram is None
+        assert balancer.reconfigurations == 1
+        # Explicit primary/secondary conversion at fixed size.
+        balancer.reconfigure(8, secondaries=4)
+        assert (balancer.primaries, balancer.secondaries) == (4, 4)
+
+    def test_reconfigure_validates_split(self):
+        balancer = SkewAwareBalancer(4)
+        with pytest.raises(ValueError, match="at least one primary"):
+            balancer.reconfigure(4, secondaries=4)
+
+
+class TestByKeyStability:
+    """Non-splittable kernels need each key pinned to ONE worker for the
+    job's whole lifetime — across rebalances and reconfigurations."""
+
+    @settings(deadline=None, max_examples=20,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seeds=st.lists(st.integers(min_value=0, max_value=500),
+                       min_size=3, max_size=6),
+        secondaries=st.sampled_from([1, 2]),
+        grow_by=st.sampled_from([0, 2, 4]),
+    )
+    def test_by_key_owner_never_moves(self, seeds, secondaries, grow_by):
+        balancer = SkewAwareBalancer(6, secondaries=secondaries)
+        owners = {}
+        for index, seed in enumerate(seeds):
+            batch = ZipfGenerator(alpha=2.0, seed=seed).generate(1_500)
+            balancer.observe(batch.keys)  # replans between windows
+            if grow_by and index == len(seeds) // 2:
+                balancer.reconfigure(balancer.workers + grow_by)
+            parts = balancer.split(batch, by_key=True)
+            # Conservation: every tuple routed exactly once.
+            assert sum(len(part) for part in parts.values()) == len(batch)
+            for worker, part in parts.items():
+                for key in np.unique(part.keys):
+                    assert owners.setdefault(int(key), worker) == worker, \
+                        f"key {key:#x} moved workers"
+
+    def test_shrink_reassigns_only_orphaned_keys(self):
+        balancer = SkewAwareBalancer(8, secondaries=2)
+        batch = ZipfGenerator(alpha=1.2, seed=4).generate(4_000)
+        balancer.observe(batch.keys)
+        before = {
+            int(key): worker
+            for worker, part in balancer.split(batch, by_key=True).items()
+            for key in np.unique(part.keys)
+        }
+        balancer.reconfigure(4)
+        after = {
+            int(key): worker
+            for worker, part in balancer.split(batch, by_key=True).items()
+            for key in np.unique(part.keys)
+        }
+        assert set(after.values()) <= set(range(4))
+        for key, worker in before.items():
+            if worker < 4:  # owner survived the shrink
+                assert after[key] == worker
+
+    def test_reset_key_ownership_forgets_assignments(self):
+        balancer = SkewAwareBalancer(4, secondaries=1)
+        batch = TupleBatch.from_keys(
+            np.full(100, 0x51, dtype=np.uint64))
+        balancer.observe(batch.keys)
+        balancer.split(batch, by_key=True)
+        assert balancer._key_owner
+        balancer.reset_key_ownership()
+        assert not balancer._key_owner
 
 
 class TestProfilerExposure:

@@ -1,0 +1,84 @@
+"""Service metrics: bounded sampling, snapshot percentiles, stalls."""
+
+import pytest
+
+from repro.service.metrics import (
+    QUEUE_DEPTH_WINDOW,
+    ServiceMetrics,
+)
+
+
+class TestQueueDepthRingBuffer:
+    def test_samples_are_bounded_on_long_lived_services(self):
+        metrics = ServiceMetrics()
+        for depth in range(QUEUE_DEPTH_WINDOW * 3):
+            metrics.sample_queue_depth(depth)
+        assert len(metrics.queue_depth_samples) == QUEUE_DEPTH_WINDOW
+        # The newest samples survive, the oldest fell off the back.
+        assert metrics.queue_depth_samples[-1] == QUEUE_DEPTH_WINDOW * 3 - 1
+        assert metrics.queue_depth_samples[0] == QUEUE_DEPTH_WINDOW * 2
+
+    def test_snapshot_exposes_depth_percentiles(self):
+        metrics = ServiceMetrics()
+        for depth in [0, 0, 0, 0, 0, 0, 0, 0, 0, 10, 10, 100]:
+            metrics.sample_queue_depth(depth)
+        snap = metrics.snapshot()["queue_depth"]
+        assert snap["p50"] == 0
+        assert snap["p95"] > 10
+        assert snap["peak"] == 100
+        assert snap["samples"] == 12
+
+    def test_empty_metrics_snapshot_is_all_zero(self):
+        snap = ServiceMetrics().snapshot()
+        assert snap["queue_depth"] == {"p50": 0.0, "p95": 0.0,
+                                       "peak": 0, "samples": 0}
+        assert snap["fleet_throughput"] == 0.0
+        assert snap["control"]["plan_cache_hit_rate"] == 0.0
+
+
+class TestStallAccounting:
+    def test_stalls_extend_makespan_but_not_worker_cycles(self):
+        metrics = ServiceMetrics()
+        metrics.record_segment(0, tuples=100, cycles=1_000)
+        metrics.record_segment(1, tuples=100, cycles=400)
+        metrics.record_control(stall_cycles=500)
+        assert metrics.busiest_worker_cycles() == 1_000
+        assert metrics.makespan_cycles() == 1_500
+        assert metrics.fleet_throughput() == pytest.approx(200 / 1_500)
+
+    def test_busiest_worker_cycles_can_exclude_removed_workers(self):
+        """After a scale-down the removed worker's counter is retained
+        for reporting but must not dominate autoscaling measurements."""
+        metrics = ServiceMetrics()
+        metrics.record_segment(0, tuples=10, cycles=100)
+        metrics.record_segment(3, tuples=10, cycles=9_000)  # removed
+        assert metrics.busiest_worker_cycles() == 9_000
+        assert metrics.busiest_worker_cycles(within=2) == 100
+        assert metrics.busiest_worker_cycles(within=0) == 0
+
+    def test_render_includes_control_line_when_active(self):
+        metrics = ServiceMetrics()
+        metrics.record_segment(0, tuples=10, cycles=10)
+        assert "control plane" not in metrics.render()
+        metrics.record_control(drift=2, replans=1, suppressed=1,
+                               cache_hits=1, stall_cycles=123)
+        text = metrics.render()
+        assert "control plane" in text
+        assert "2 drift events" in text
+
+    def test_snapshot_control_section_tracks_counters(self):
+        metrics = ServiceMetrics()
+        metrics.record_control(drift=3, replans=2, suppressed=1,
+                               cache_hits=1, cache_misses=1,
+                               scale_ups=1, scale_downs=2,
+                               stall_cycles=42, plan_age=7)
+        control = metrics.snapshot()["control"]
+        assert control["drift_events"] == 3
+        assert control["replans_applied"] == 2
+        assert control["replans_suppressed"] == 1
+        assert control["plan_cache_hit_rate"] == 0.5
+        assert control["scale_up_events"] == 1
+        assert control["scale_down_events"] == 2
+        assert control["reschedule_stall_cycles"] == 42
+        assert control["plan_age_p50"] == 7
+        assert metrics.plan_cache_hit_rate() == 0.5

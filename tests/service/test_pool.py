@@ -1,0 +1,121 @@
+"""Worker pool elasticity: resize up/down, session survival, collection."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ArchitectureConfig
+from repro.runtime.session import StreamingSession
+from repro.service.jobs import kernel_for
+from repro.service.metrics import ServiceMetrics
+from repro.service.pool import WorkItem, WorkerPool
+from repro.workloads.tuples import TupleBatch
+
+
+def make_pool(workers=2):
+    config = ArchitectureConfig(lanes=8, pripes=16, secpes=0,
+                                reschedule_threshold=0.0)
+
+    def factory(job_id):
+        return StreamingSession(config=config,
+                                kernel=kernel_for("histo", 16),
+                                engine="fast")
+
+    return WorkerPool(workers, factory, ServiceMetrics()), factory
+
+
+def batch_of(keys):
+    return TupleBatch.from_keys(np.asarray(keys, dtype=np.uint64))
+
+
+class TestResize:
+    def test_grow_starts_new_workers_immediately(self):
+        pool, _ = make_pool(2)
+        pool.start()
+        try:
+            pool.resize(4)
+            assert pool.size == 4
+            pool.dispatch(3, WorkItem("job", batch_of([1, 2, 3])))
+            pool.drain()
+            merged = pool.collect("job")
+            assert merged.total_tuples == 3
+        finally:
+            pool.stop()
+
+    def test_grow_before_start_defers_thread_launch(self):
+        pool, _ = make_pool(2)
+        pool.resize(5)
+        assert pool.size == 5
+        pool.start()
+        try:
+            pool.dispatch(4, WorkItem("job", batch_of([7])))
+            pool.drain()
+            assert pool.collect("job").total_tuples == 1
+        finally:
+            pool.stop()
+
+    def test_shrink_keeps_removed_workers_sessions_for_collect(self):
+        pool, _ = make_pool(4)
+        pool.start()
+        try:
+            for worker in range(4):
+                pool.dispatch(worker,
+                              WorkItem("job", batch_of([worker] * 10)))
+            pool.drain()
+            pool.resize(2)
+            assert pool.size == 2
+            # Workers 2 and 3 are gone, but their partials must merge.
+            merged = pool.collect("job")
+            assert merged.total_tuples == 40
+            golden = kernel_for("histo", 16).golden(
+                np.repeat(np.arange(4, dtype=np.uint64), 10),
+                np.zeros(40, dtype=np.int64))
+            assert np.array_equal(merged.result, golden)
+        finally:
+            pool.stop()
+
+    def test_shrink_drains_queued_items_before_stopping(self):
+        pool, _ = make_pool(3)
+        pool.start()
+        try:
+            for _ in range(20):
+                pool.dispatch(2, WorkItem("job", batch_of([5] * 50)))
+            pool.resize(1)
+            merged = pool.collect("job")
+            assert merged.total_tuples == 1_000
+        finally:
+            pool.stop()
+
+    def test_resize_to_same_size_is_a_no_op(self):
+        pool, _ = make_pool(2)
+        workers_before = list(pool._workers)
+        pool.resize(2)
+        assert pool._workers == workers_before
+
+    def test_resize_validates(self):
+        pool, _ = make_pool(2)
+        with pytest.raises(ValueError):
+            pool.resize(0)
+
+    def test_dispatch_to_removed_worker_rejected(self):
+        pool, _ = make_pool(3)
+        pool.start()
+        try:
+            pool.resize(2)
+            with pytest.raises(ValueError, match="no such worker"):
+                pool.dispatch(2, WorkItem("job", batch_of([1])))
+        finally:
+            pool.stop()
+
+    def test_restart_after_shrink_builds_current_size(self):
+        pool, _ = make_pool(4)
+        pool.start()
+        pool.resize(2)
+        pool.stop()
+        pool.start()
+        try:
+            assert len(pool._workers) == 2
+            pool.dispatch(1, WorkItem("job", batch_of([9, 9])))
+            pool.drain()
+            assert pool.collect("job").total_tuples == 2
+        finally:
+            pool.stop()
