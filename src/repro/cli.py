@@ -182,16 +182,25 @@ def cmd_codegen(args: argparse.Namespace) -> int:
 
 
 def _service_for(args: argparse.Namespace):
-    from repro.service import StreamService
+    from repro.service import StreamService, TenantSpec
 
     if args.slo is not None and not args.adaptive:
         raise SystemExit("--slo requires --adaptive")
     if args.adaptive and args.balancer != "skew":
         raise SystemExit("--adaptive requires the skew balancer")
-    return StreamService(workers=args.workers, balancer=args.balancer,
-                         engine=args.engine,
-                         adaptive=args.adaptive, slo=args.slo,
-                         reschedule_cost_cycles=args.reschedule_cost)
+    if args.tenant is None and (args.weight != 1.0
+                                or args.tenant_slo is not None):
+        raise SystemExit("--weight/--tenant-slo require --tenant")
+    service = StreamService(workers=args.workers, balancer=args.balancer,
+                            engine=args.engine,
+                            adaptive=args.adaptive, slo=args.slo,
+                            reschedule_cost_cycles=args.reschedule_cost,
+                            scheduler=args.scheduler)
+    if args.tenant is not None:
+        service.register_tenant(TenantSpec(
+            args.tenant, weight=args.weight,
+            slo_delay_tuples=args.tenant_slo))
+    return service
 
 
 def _zipf_source(app: str, alpha: float, tuples: int, seed: int,
@@ -213,7 +222,9 @@ def _zipf_source(app: str, alpha: float, tuples: int, seed: int,
 
 def _summarize_job(service, job_id: str) -> None:
     status = service.poll(job_id)
-    print(f"job {job_id:<12} app={status['app']:<8} "
+    tenant = (f"tenant={status['tenant']:<12} "
+              if status["tenant"] != "default" else "")
+    print(f"job {job_id:<12} {tenant}app={status['app']:<8} "
           f"status={status['status']:<9} "
           f"segments={status['segments_done']}", end="")
     if status["status"] == "completed":
@@ -229,23 +240,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service = _service_for(args)
     window = args.window_us * 1e-6
     if args.demo:
-        # A multi-tenant mix: priorities and deadlines exercise the
-        # admission queue; apps exercise every streaming kernel.
+        # A multi-tenant mix: an interactive tenant (weight 3) and a
+        # batch tenant (weight 1) share the fleet by weighted fair
+        # queueing; priorities/deadlines order each tenant's own jobs
+        # and apps exercise every streaming kernel.
+        from repro.service import TenantSpec
+
+        service.register_tenant(TenantSpec("interactive", weight=3.0))
+        service.register_tenant(TenantSpec("batch", weight=1.0))
         jobs = [
             service.submit("hll", _zipf_source("hll", 0.8, args.tuples,
                                                args.seed + 1),
-                           priority=5, window_seconds=window),
+                           priority=5, window_seconds=window,
+                           tenant_id="interactive"),
             service.submit("histo", _zipf_source("histo", args.alpha,
                                                  args.tuples, args.seed),
                            priority=1, deadline=2e-3,
-                           window_seconds=window),
+                           window_seconds=window,
+                           tenant_id="interactive"),
             service.submit("hhd", _zipf_source("hhd", 2.0, args.tuples,
                                                args.seed + 2),
                            priority=1, deadline=1e-3,
-                           window_seconds=window),
+                           window_seconds=window, tenant_id="batch"),
             service.submit("dp", _zipf_source("dp", args.alpha,
                                               args.tuples, args.seed + 3),
-                           window_seconds=window),
+                           window_seconds=window, tenant_id="batch"),
         ]
     else:
         jobs = [
@@ -282,6 +301,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
         deadline=args.deadline,
         window_seconds=args.window_us * 1e-6,
         params=params,
+        tenant_id=args.tenant,
     )
     service.run()
     _summarize_job(service, job_id)
@@ -381,6 +401,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "charged per plan change (0 = free; "
                             "default: free, or derived from the config "
                             "when --adaptive)")
+        p.add_argument("--scheduler", default="fair",
+                       choices=["fair", "strict"],
+                       help="cross-tenant job order: weighted-fair "
+                            "queueing (default) or the legacy global "
+                            "strict-priority order")
+        p.add_argument("--tenant", default=None,
+                       help="tenant to register and submit under "
+                            "(default: the built-in default tenant)")
+        p.add_argument("--weight", type=positive(float), default=1.0,
+                       help="fair-share weight of --tenant")
+        p.add_argument("--tenant-slo", type=non_negative(int),
+                       default=None,
+                       help="queue-delay SLO of --tenant, in dispatched "
+                            "tuples (per-tenant attainment is reported "
+                            "and steers the autoscaler)")
 
     p = sub.add_parser("serve", help="run the stream-serving fleet")
     add_service_options(p)

@@ -73,7 +73,8 @@ class Autoscaler:
         self._cooldown = 0
 
     def decide(
-        self, tuples_delta: int, busy_cycles_delta: int, size: int
+        self, tuples_delta: int, busy_cycles_delta: int, size: int,
+        slo_pressure: bool = False,
     ) -> ScaleDecision:
         """Fleet size for the next stretch of windows.
 
@@ -87,6 +88,11 @@ class Autoscaler:
             stalls, which adding workers cannot fix.
         size:
             Current fleet size.
+        slo_pressure:
+            True when some *tenant-level* SLO (queue-delay attainment)
+            is slipping: grow even if the fleet-wide cycles-per-tuple
+            objective is met, and never shrink — idle-looking capacity
+            is what lets a starved tenant catch up.
         """
         if tuples_delta <= 0:
             return ScaleDecision(size, 0.0, "hold")
@@ -94,12 +100,13 @@ class Autoscaler:
         if self._cooldown > 0:
             self._cooldown -= 1
             return ScaleDecision(size, observed, "hold")
-        if observed > self.slo and size < self.max_workers:
+        if (slo_pressure or observed > self.slo) \
+                and size < self.max_workers:
             self._cooldown = self.cooldown_checks
             return ScaleDecision(
                 min(size + self.step, self.max_workers), observed, "grow")
         if observed < self.shrink_margin * self.slo \
-                and size > self.min_workers:
+                and size > self.min_workers and not slo_pressure:
             self._cooldown = self.cooldown_checks
             return ScaleDecision(
                 max(size - self.step, self.min_workers), observed, "shrink")

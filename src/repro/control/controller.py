@@ -28,7 +28,7 @@ in :class:`~repro.service.metrics.ServiceMetrics`.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -63,6 +63,11 @@ class ControlPolicy:
     max_workers: int = 32
     shrink_margin: float = 0.4
     scale_cooldown: int = 1
+    #: Per-tenant queue-delay SLO attainment below which the autoscaler
+    #: treats the fleet as under-provisioned: it grows (capacity
+    #: permitting) and refuses to shrink even if the fleet-wide
+    #: cycles-per-tuple objective looks comfortable.
+    tenant_attainment_target: float = 0.9
 
     def with_cost(self, cost: int) -> "ControlPolicy":
         """A copy with a concrete rescheduling cost filled in."""
@@ -135,12 +140,27 @@ class AdaptiveController:
         # how many consecutive drifted windows matched it.
         self._previous_histogram = None
         self._settled_drift_windows = 0
+        # Latest per-tenant shard histogram.  With concurrent tenants
+        # the dispatcher interleaves windows from *different*
+        # distributions; judging drift window-by-window would register
+        # permanent phantom drift (each tenant's window "drifts" from
+        # the other's).  The control loop therefore plans and detects
+        # against the MERGED histogram — the load the shared plan
+        # actually has to balance — which is stable when every in-flight
+        # tenant's stream is stable.
+        self._tenant_histograms: Dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # The per-window decision point
     # ------------------------------------------------------------------
-    def on_window(self, keys: np.ndarray, tuples: int) -> str:
+    def on_window(self, keys: np.ndarray, tuples: int,
+                  tenant_id: str = "default") -> str:
         """Consulted by the service once per closed window, pre-split.
+
+        ``tenant_id`` names the tenant whose window this is: if its
+        drift triggers a replan, that tenant is charged the rescheduling
+        stall in the per-tenant metrics (the fleet-wide makespan pays it
+        either way — the attribution answers "who caused it").
 
         Returns the action taken (for logs and tests): ``"plan"``,
         ``"replan"``, ``"hold"``, ``"freeze"``, ``"frozen"``, or
@@ -149,7 +169,10 @@ class AdaptiveController:
         self.windows += 1
         self.tuples += tuples
         self.balancer.observe(keys)  # histogram only: auto_replan is off
-        histogram = self.balancer.last_histogram
+        observed = self.balancer.last_histogram
+        if observed is not None:
+            self._tenant_histograms[tenant_id] = observed
+        histogram = self._merged_histogram()
         action = "steady"
         if histogram is None:
             action = "steady"
@@ -181,7 +204,7 @@ class AdaptiveController:
                     decision = self.replanner.decide(
                         interval, report.windows_since_rebase)
                 if decision is ReplanDecision.REPLAN:
-                    self._adopt_plan(histogram)
+                    self._adopt_plan(histogram, tenant_id=tenant_id)
                     action = "replan"
                 elif decision is ReplanDecision.FREEZE:
                     self.frozen = True
@@ -213,6 +236,31 @@ class AdaptiveController:
             self._settled_drift_windows = 0
         return self._settled_drift_windows >= self.policy.hysteresis_windows
 
+    def _merged_histogram(self) -> Optional[np.ndarray]:
+        """The summed per-tenant histograms — the fleet's actual load.
+
+        Entries sized for a previous fleet shape (stale after a
+        reconfigure) are dropped.
+        """
+        shards = self.balancer.primaries
+        stale = [tenant for tenant, hist in self._tenant_histograms.items()
+                 if len(hist) != shards]
+        for tenant in stale:
+            del self._tenant_histograms[tenant]
+        if not self._tenant_histograms:
+            return None
+        merged = None
+        for tenant in sorted(self._tenant_histograms):
+            hist = self._tenant_histograms[tenant]
+            merged = hist.copy() if merged is None else merged + hist
+        return merged
+
+    def forget_tenant(self, tenant_id: str) -> None:
+        """Drop a tenant's histogram from the merged load (its last job
+        left the fleet); the next windows drift-and-settle toward the
+        remaining tenants' mixture through the normal machinery."""
+        self._tenant_histograms.pop(tenant_id, None)
+
     def unfreeze(self) -> None:
         """Re-arm the control loop after a burst-absorption freeze."""
         self.frozen = False
@@ -230,7 +278,8 @@ class AdaptiveController:
     # Plan application
     # ------------------------------------------------------------------
     def _adopt_plan(self, histogram: np.ndarray,
-                    initial: bool = False) -> None:
+                    initial: bool = False,
+                    tenant_id: Optional[str] = None) -> None:
         plan, hit = self.cache.get_or_build(
             histogram,
             lambda: greedy_secpe_plan(histogram, self.balancer.secondaries,
@@ -248,6 +297,7 @@ class AdaptiveController:
             replans=0 if initial else 1,
             stall_cycles=0 if initial else cost,
             plan_age=None if initial else plan_age,
+            tenant=tenant_id,
         )
 
     # ------------------------------------------------------------------
@@ -266,10 +316,19 @@ class AdaptiveController:
         self.pool.drain()
         tuples = self.metrics.total_tuples()
         busy = self.metrics.busiest_worker_cycles(within=self.pool.size)
+        # Per-tenant SLO attainment is a second objective: a tenant whose
+        # queue-delay SLO is slipping means the fleet is short on
+        # capacity even when the fleet-wide cycles-per-tuple looks fine.
+        attainment = self.metrics.tenant_slo_attainment()
+        pressure = any(
+            value < self.policy.tenant_attainment_target
+            for value in attainment.values()
+        )
         decision = self.autoscaler.decide(
             tuples - self._scale_tuples,
             busy - self._scale_busy_cycles,
             self.pool.size,
+            slo_pressure=pressure,
         )
         self._scale_tuples = tuples
         self._scale_busy_cycles = busy
@@ -294,6 +353,7 @@ class AdaptiveController:
         self._plan_born_window = self.windows
         self._previous_histogram = None
         self._settled_drift_windows = 0
+        self._tenant_histograms.clear()
         self._scale_busy_cycles = self.metrics.busiest_worker_cycles(
             within=self.pool.size)
         self.metrics.record_control(

@@ -6,8 +6,11 @@ This package lifts the same idea one level up, to a *fleet* of pipeline
 workers serving many clients:
 
 ``jobs`` / ``queue``
-    Job model and priority/deadline admission queue (submit one
-    application + one tuple stream per job).
+    Job and tenant model (:class:`~repro.service.jobs.TenantSpec`:
+    weight, queue-delay SLO, in-flight cap, admission quota) and the
+    weighted-fair admission queue: per-tenant sub-queues ordered by
+    priority/deadline/FIFO, scheduled across tenants by virtual-time
+    WFQ with age promotion as the starvation backstop.
 ``windows``
     Event-time window manager turning each job's stream into closable
     segments.
@@ -38,19 +41,23 @@ from repro.service.balancer import (
     shard_of_keys,
 )
 from repro.service.jobs import (
+    DEFAULT_TENANT,
     SERVED_APPS,
     Job,
     JobResult,
     JobStatus,
+    QuotaExceededError,
+    TenantSpec,
     kernel_for,
 )
-from repro.service.metrics import ServiceMetrics, WorkerStats
+from repro.service.metrics import ServiceMetrics, TenantStats, WorkerStats
 from repro.service.pool import WorkItem, WorkerPool
 from repro.service.queue import JobQueue
 from repro.service.server import StreamService
 from repro.service.windows import EventWindow, WindowManager
 
 __all__ = [
+    "DEFAULT_TENANT",
     "SERVED_APPS",
     "EventWindow",
     "FleetBalancer",
@@ -58,10 +65,13 @@ __all__ = [
     "JobQueue",
     "JobResult",
     "JobStatus",
+    "QuotaExceededError",
     "RoundRobinBalancer",
     "ServiceMetrics",
     "SkewAwareBalancer",
     "StreamService",
+    "TenantSpec",
+    "TenantStats",
     "WindowManager",
     "WorkItem",
     "WorkerPool",

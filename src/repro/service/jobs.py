@@ -31,7 +31,74 @@ from repro.workloads.streams import TimestampedBatch
 #: Applications a job may request, in the paper's Table I naming.
 SERVED_APPS = ("histo", "dp", "hll", "hhd", "pagerank")
 
+#: Tenant every job belongs to unless the client says otherwise.  The
+#: default tenant has weight 1.0, no SLO and a one-job in-flight cap, so
+#: a single-tenant service behaves exactly like the pre-tenant code:
+#: one job at a time, strict priority / EDF / FIFO order.
+DEFAULT_TENANT = "default"
+
 _job_counter = itertools.count()
+
+
+class QuotaExceededError(RuntimeError):
+    """A tenant tried to queue more jobs than its admission quota."""
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Per-tenant scheduling contract.
+
+    Attributes
+    ----------
+    tenant_id:
+        Client-visible tenant name.
+    weight:
+        Fair-share weight.  The queue's weighted-fair scheduler grants a
+        backlogged tenant ``weight / sum(weights of backlogged tenants)``
+        of the job admissions, and the dispatcher grants the same share
+        of source-stepping rounds to the tenant's in-flight jobs.
+    slo_delay_tuples:
+        Queue-delay service objective: a job should start within this
+        many *dispatched tuples* (the deterministic dispatch clock) of
+        its submission.  None disables per-tenant SLO tracking.
+    max_in_flight:
+        How many of the tenant's jobs the dispatcher may run
+        concurrently.  1 (the default) serialises the tenant's jobs,
+        matching the historical one-job-at-a-time dispatcher.
+    max_queued:
+        Admission quota: submissions beyond this many PENDING jobs are
+        rejected with :class:`QuotaExceededError`.  None admits
+        unboundedly.
+    worker_quota:
+        Optional cap on how many pipeline workers the tenant's windows
+        may fan out to; shards for workers beyond the quota fold onto
+        ``worker_id % worker_quota``.  None uses the whole fleet.
+    """
+
+    tenant_id: str
+    weight: float = 1.0
+    slo_delay_tuples: Optional[int] = None
+    max_in_flight: int = 1
+    max_queued: Optional[int] = None
+    worker_quota: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant_id:
+            raise ValueError("tenant_id must be non-empty")
+        if not self.weight > 0:
+            raise ValueError("weight must be positive")
+        if self.slo_delay_tuples is not None and self.slo_delay_tuples < 0:
+            raise ValueError("slo_delay_tuples must be non-negative")
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        if self.max_queued is not None and self.max_queued < 1:
+            raise ValueError("max_queued must be at least 1")
+        if self.worker_quota is not None and self.worker_quota < 1:
+            raise ValueError("worker_quota must be at least 1")
+
+
+#: The implicit spec of unregistered tenants (and of ``DEFAULT_TENANT``).
+DEFAULT_TENANT_SPEC = TenantSpec(DEFAULT_TENANT)
 
 
 def kernel_class_for(app: str) -> type:
@@ -134,7 +201,10 @@ class Job:
     source:
         Iterable of :class:`TimestampedBatch` — the job's tuple stream.
     priority:
-        Larger runs earlier (strict; ties broken by deadline then FIFO).
+        Larger runs earlier *within the job's tenant* (ties broken by
+        deadline then FIFO); across tenants the queue schedules by
+        weighted fair share, so one tenant's priorities never starve
+        another tenant.
     deadline:
         Event-time seconds by which the client wants results; used as the
         earliest-deadline-first tiebreak within a priority level.
@@ -142,6 +212,9 @@ class Job:
         Event-time width of this job's aggregation windows.
     params:
         Application knobs forwarded to :func:`kernel_for`.
+    tenant_id:
+        Owning tenant (:data:`DEFAULT_TENANT` unless the client says
+        otherwise).
     """
 
     app: str
@@ -150,6 +223,7 @@ class Job:
     deadline: Optional[float] = None
     window_seconds: float = 4e-6
     params: Dict[str, Any] = field(default_factory=dict)
+    tenant_id: str = DEFAULT_TENANT
     job_id: str = ""
     status: JobStatus = JobStatus.PENDING
     error: Optional[str] = None
@@ -158,6 +232,11 @@ class Job:
     history: List[SegmentOutcome] = field(default_factory=list)
     windows_dispatched: int = 0
     late_tuples: int = 0
+    #: Dispatch-clock reading (cumulative dispatched tuples) at submit
+    #: and the clock delta when the dispatcher started the job — the
+    #: deterministic queue-delay measurement behind the per-tenant SLO.
+    submit_clock: int = 0
+    queue_delay: int = 0
 
     def __post_init__(self) -> None:
         if self.app not in SERVED_APPS:
@@ -168,11 +247,13 @@ class Job:
             raise ValueError("window_seconds must be positive")
         if self.deadline is not None and self.deadline < 0:
             raise ValueError("deadline must be non-negative")
+        if not self.tenant_id:
+            raise ValueError("tenant_id must be non-empty")
         if not self.job_id:
             self.job_id = f"job-{self.seq}"
 
     def sort_key(self) -> tuple:
-        """Queue ordering: priority desc, deadline asc, submission FIFO."""
+        """Within-tenant ordering: priority desc, deadline asc, FIFO."""
         deadline = math.inf if self.deadline is None else self.deadline
         return (-self.priority, deadline, self.seq)
 
@@ -188,6 +269,8 @@ class JobResult:
     cycles: int
     segments: int
     late_tuples: int
+    tenant_id: str = DEFAULT_TENANT
+    queue_delay: int = 0
 
     @property
     def tuples_per_cycle(self) -> float:

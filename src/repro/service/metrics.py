@@ -28,6 +28,9 @@ QUEUE_DEPTH_WINDOW = 1024
 #: Retained plan ages (windows a plan survived before being replaced).
 PLAN_AGE_WINDOW = 256
 
+#: Retained per-tenant queue-delay samples (dispatch-clock tuples).
+QUEUE_DELAY_WINDOW = 1024
+
 
 def _percentile(samples: List[int], q: float) -> float:
     """q-th percentile of a sample list (0.0 when empty)."""
@@ -50,10 +53,50 @@ class WorkerStats:
 
 
 @dataclass
+class TenantStats:
+    """Cumulative serving record of one tenant.
+
+    ``queue_delays`` samples are in *dispatch-clock* units (cumulative
+    tuples the dispatcher had handed to the fleet when the job started,
+    minus the reading at submit) — a deterministic stand-in for wall
+    time that replays identically.  ``slo_met``/``slo_missed`` classify
+    each started job's delay against the tenant's registered
+    ``slo_delay_tuples``.
+    """
+
+    weight: float = 1.0
+    slo_delay_tuples: Optional[int] = None
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_cancelled: int = 0
+    jobs_rejected: int = 0
+    tuples: int = 0
+    cycles: int = 0
+    stall_cycles: int = 0
+    slo_met: int = 0
+    slo_missed: int = 0
+    queue_delays: Deque[int] = field(
+        default_factory=lambda: deque(maxlen=QUEUE_DELAY_WINDOW))
+
+    @property
+    def tuples_per_cycle(self) -> float:
+        return self.tuples / self.cycles if self.cycles else 0.0
+
+    @property
+    def slo_attainment(self) -> float:
+        """Started jobs whose queue delay met the SLO (1.0 with no data
+        or no SLO — an unmeasured tenant is not a failing tenant)."""
+        judged = self.slo_met + self.slo_missed
+        return self.slo_met / judged if judged else 1.0
+
+
+@dataclass
 class ServiceMetrics:
     """Thread-safe counters for one :class:`~repro.service.server.StreamService`."""
 
     workers: Dict[int, WorkerStats] = field(default_factory=dict)
+    tenants: Dict[str, TenantStats] = field(default_factory=dict)
     windows_closed: int = 0
     tuples_windowed: int = 0
     late_tuples: int = 0
@@ -78,12 +121,83 @@ class ServiceMetrics:
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
 
-    def record_segment(self, worker: int, tuples: int, cycles: int) -> None:
+    # ------------------------------------------------------------------
+    # Tenant registry and per-tenant events
+    # ------------------------------------------------------------------
+    def _tenant(self, tenant_id: str) -> TenantStats:
+        return self.tenants.setdefault(tenant_id, TenantStats())
+
+    def register_tenant(self, tenant_id: str, weight: float = 1.0,
+                        slo_delay_tuples: Optional[int] = None) -> None:
+        """Install a tenant's weight and queue-delay SLO for reporting."""
+        with self._lock:
+            stats = self._tenant(tenant_id)
+            stats.weight = weight
+            stats.slo_delay_tuples = slo_delay_tuples
+
+    def record_submit(self, tenant_id: str) -> None:
+        with self._lock:
+            self.jobs_submitted += 1
+            self._tenant(tenant_id).jobs_submitted += 1
+
+    def record_completed(self, tenant_id: str) -> None:
+        with self._lock:
+            self.jobs_completed += 1
+            self._tenant(tenant_id).jobs_completed += 1
+
+    def record_failed(self, tenant_id: str) -> None:
+        with self._lock:
+            self.jobs_failed += 1
+            self._tenant(tenant_id).jobs_failed += 1
+
+    def record_cancelled(self, tenant_id: str) -> None:
+        with self._lock:
+            self.jobs_cancelled += 1
+            self._tenant(tenant_id).jobs_cancelled += 1
+
+    def record_rejected(self, tenant_id: str) -> None:
+        """An admission-control rejection (quota exceeded)."""
+        with self._lock:
+            self._tenant(tenant_id).jobs_rejected += 1
+
+    def record_queue_delay(self, tenant_id: str, delay: int) -> None:
+        """A started job waited ``delay`` dispatch-clock tuples."""
+        with self._lock:
+            stats = self._tenant(tenant_id)
+            stats.queue_delays.append(delay)
+            if stats.slo_delay_tuples is not None:
+                if delay <= stats.slo_delay_tuples:
+                    stats.slo_met += 1
+                else:
+                    stats.slo_missed += 1
+
+    def tenant_slo_attainment(self) -> Dict[str, float]:
+        """SLO attainment of every tenant with an SLO and started jobs."""
+        with self._lock:
+            return {
+                tenant_id: stats.slo_attainment
+                for tenant_id, stats in self.tenants.items()
+                if stats.slo_delay_tuples is not None
+                and (stats.slo_met or stats.slo_missed)
+            }
+
+    def dispatch_clock(self) -> int:
+        """Cumulative dispatched tuples — the deterministic queue-delay
+        clock (only the dispatcher thread advances it)."""
+        with self._lock:
+            return self.tuples_windowed
+
+    def record_segment(self, worker: int, tuples: int, cycles: int,
+                       tenant: Optional[str] = None) -> None:
         with self._lock:
             stats = self.workers.setdefault(worker, WorkerStats())
             stats.segments += 1
             stats.tuples += tuples
             stats.cycles += cycles
+            if tenant is not None:
+                tenant_stats = self._tenant(tenant)
+                tenant_stats.tuples += tuples
+                tenant_stats.cycles += cycles
 
     def record_window(self, tuples: int) -> None:
         with self._lock:
@@ -110,6 +224,7 @@ class ServiceMetrics:
         scale_downs: int = 0,
         stall_cycles: int = 0,
         plan_age: Optional[int] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         """Fold one control-plane event into the counters.
 
@@ -117,6 +232,8 @@ class ServiceMetrics:
         (detection + drain + re-enqueue + re-profiling); it extends the
         makespan because every worker pauses while kernels re-enqueue.
         ``plan_age`` is how many windows the retired plan served.
+        ``tenant`` attributes the stall to the tenant whose window's
+        drift triggered the replan (who pays the rescheduling stall).
         """
         with self._lock:
             self.drift_events += drift
@@ -127,6 +244,8 @@ class ServiceMetrics:
             self.scale_up_events += scale_ups
             self.scale_down_events += scale_downs
             self.reschedule_stall_cycles += stall_cycles
+            if stall_cycles and tenant is not None:
+                self._tenant(tenant).stall_cycles += stall_cycles
             if plan_age is not None:
                 self.plan_ages.append(plan_age)
 
@@ -229,8 +348,38 @@ class ServiceMetrics:
                     "reschedule_stall_cycles": self.reschedule_stall_cycles,
                     "plan_age_p50": _percentile(ages, 50),
                 },
+                "tenants": {
+                    tenant_id: self._tenant_snapshot(stats)
+                    for tenant_id, stats in sorted(self.tenants.items())
+                },
             }
         return snap
+
+    @staticmethod
+    def _tenant_snapshot(stats: TenantStats) -> Dict[str, Any]:
+        delays = list(stats.queue_delays)
+        return {
+            "weight": stats.weight,
+            "jobs": {
+                "submitted": stats.jobs_submitted,
+                "completed": stats.jobs_completed,
+                "failed": stats.jobs_failed,
+                "cancelled": stats.jobs_cancelled,
+                "rejected": stats.jobs_rejected,
+            },
+            "tuples": stats.tuples,
+            "cycles": stats.cycles,
+            "tuples_per_cycle": stats.tuples_per_cycle,
+            "stall_cycles": stats.stall_cycles,
+            "queue_delay": {
+                "p50": _percentile(delays, 50),
+                "p95": _percentile(delays, 95),
+                "peak": max(delays, default=0),
+                "samples": len(delays),
+            },
+            "slo_delay_tuples": stats.slo_delay_tuples,
+            "slo_attainment": stats.slo_attainment,
+        }
 
     def render(self) -> str:
         """Human-readable summary (the CLI's ``serve`` report)."""
@@ -261,6 +410,27 @@ class ServiceMetrics:
             f"{self.jobs_failed} failed / {self.jobs_cancelled} cancelled "
             f"of {self.jobs_submitted} submitted")
         lines.append(f"rebalances       : {self.rebalances}")
+        named = {tid: s for tid, s in self.tenants.items()
+                 if tid != "default" or len(self.tenants) > 1}
+        if named:
+            tenant_table = Table(
+                ["tenant", "weight", "jobs", "tuples", "t/c",
+                 "delay p95", "SLO"],
+                title="Per-tenant serving record",
+            )
+            for tenant_id in sorted(self.tenants):
+                stats = self.tenants[tenant_id]
+                delays = list(stats.queue_delays)
+                slo = ("-" if stats.slo_delay_tuples is None
+                       else f"{stats.slo_attainment:.0%}")
+                tenant_table.add_row([
+                    tenant_id, f"{stats.weight:g}",
+                    f"{stats.jobs_completed}/{stats.jobs_submitted}",
+                    f"{stats.tuples:,}",
+                    f"{stats.tuples_per_cycle:.3f}",
+                    f"{_percentile(delays, 95):,.0f}", slo,
+                ])
+            lines.append(tenant_table.render())
         if self.queue_depth_samples:
             depths = list(self.queue_depth_samples)
             lines.append(

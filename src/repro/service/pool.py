@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.runtime.session import StreamingSession
+from repro.service.jobs import DEFAULT_TENANT
 from repro.workloads.tuples import TupleBatch
 
 #: Sentinel shutting a worker thread down.
@@ -29,10 +30,15 @@ _STOP = object()
 
 @dataclass
 class WorkItem:
-    """One worker's shard of one closed window."""
+    """One worker's shard of one closed window.
+
+    ``tenant_id`` rides along so the worker can charge the segment's
+    tuples and cycles to the owning tenant's metrics.
+    """
 
     job_id: str
     batch: TupleBatch
+    tenant_id: str = DEFAULT_TENANT
 
 
 class _Worker(threading.Thread):
@@ -63,7 +69,8 @@ class _Worker(threading.Thread):
         session = self.pool._session(self.worker_id, item.job_id)
         outcome = session.process(item.batch)
         self.pool.metrics.record_segment(
-            self.worker_id, outcome.tuples, outcome.cycles)
+            self.worker_id, outcome.tuples, outcome.cycles,
+            tenant=item.tenant_id)
 
 
 class WorkerPool:

@@ -16,15 +16,22 @@
           worker 0        worker 1   ...  worker K-1      (WorkerPool)
         StreamingSession per (worker, job); partials merge on completion
 
-Jobs run one at a time in queue order (priority, then deadline, then
-FIFO) with each job's windows sharded across the whole fleet; that keeps
-the fleet-throughput accounting crisp while the queue provides the
-multi-tenant admission control.
+The dispatcher serves jobs *per tenant*: the queue's weighted-fair
+scheduler picks which tenant's job is admitted next (strict priority /
+EDF / FIFO only order jobs *within* a tenant), and up to
+``TenantSpec.max_in_flight`` jobs per tenant run concurrently, their
+source batches interleaved in proportion to tenant weight.  With only
+the default tenant (``max_in_flight=1``) this degenerates to the
+historical one-job-at-a-time loop in strict queue order; every job's
+windows are sharded across the whole fleet either way, so the
+fleet-throughput accounting stays crisp while tenants get weighted fair
+shares, admission quotas, and queue-delay SLO tracking.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, Union
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -39,9 +46,13 @@ from repro.service.balancer import (
     make_balancer,
 )
 from repro.service.jobs import (
+    DEFAULT_TENANT,
+    DEFAULT_TENANT_SPEC,
     Job,
     JobResult,
     JobStatus,
+    QuotaExceededError,
+    TenantSpec,
     kernel_class_for,
     kernel_for,
 )
@@ -50,6 +61,16 @@ from repro.service.pool import WorkerPool, WorkItem
 from repro.service.queue import JobQueue
 from repro.service.windows import WindowManager
 from repro.workloads.streams import TimestampedBatch
+
+
+@dataclass
+class _ActiveJob:
+    """Dispatcher-side state of one admitted, still-streaming job."""
+
+    job: Job
+    windows: WindowManager
+    source: Iterator[TimestampedBatch]
+    by_key: bool
 
 
 class StreamService:
@@ -97,6 +118,10 @@ class StreamService:
         accounting) for non-adaptive services and derives a cost from
         the architecture configuration for adaptive ones; an explicit
         value (including 0) is honored as given in both modes.
+    scheduler:
+        ``"fair"`` (default) runs weighted-fair queueing across tenants;
+        ``"strict"`` restores the legacy global strict-priority order
+        (kept as the starvation baseline for benchmarks).
     """
 
     def __init__(
@@ -111,6 +136,7 @@ class StreamService:
         slo: Optional[float] = None,
         control: Optional[ControlPolicy] = None,
         reschedule_cost_cycles: Optional[int] = None,
+        scheduler: str = "fair",
     ) -> None:
         self.config = config or ArchitectureConfig(
             lanes=8, pripes=16, secpes=0, reschedule_threshold=0.0)
@@ -126,7 +152,16 @@ class StreamService:
         if reschedule_cost_cycles is not None and reschedule_cost_cycles < 0:
             raise ValueError("reschedule_cost_cycles must be non-negative")
         self.reschedule_cost_cycles = reschedule_cost_cycles or 0
-        self._queue = JobQueue()
+        if scheduler not in ("fair", "strict"):
+            raise ValueError(
+                f"unknown scheduler {scheduler!r} (fair | strict)")
+        self.scheduler = scheduler
+        self._queue = JobQueue(fair=(scheduler == "fair"))
+        self._tenants: Dict[str, TenantSpec] = {
+            DEFAULT_TENANT: DEFAULT_TENANT_SPEC,
+        }
+        self._step_credit: Dict[str, float] = {}
+        self._step_rotation: Dict[str, int] = {}
         self._jobs: Dict[str, Job] = {}
         self._pool = WorkerPool(workers, self._make_session, self.metrics)
         self._controller: Optional[AdaptiveController] = None
@@ -159,6 +194,32 @@ class StreamService:
     # ------------------------------------------------------------------
     # Client API
     # ------------------------------------------------------------------
+    def register_tenant(self, spec: TenantSpec) -> None:
+        """Install (or update) a tenant's scheduling contract.
+
+        Unregistered tenant IDs are accepted at submit time with the
+        default contract (weight 1, no SLO, one job in flight);
+        registration is how a tenant gets a weight, an admission quota,
+        a queue-delay SLO, or a worker quota.
+        """
+        if spec.worker_quota is not None \
+                and spec.worker_quota > self._pool.size:
+            raise ValueError(
+                f"worker_quota {spec.worker_quota} exceeds the fleet "
+                f"({self._pool.size} workers)")
+        self._tenants[spec.tenant_id] = spec
+        self._queue.register_tenant(spec)
+        self.metrics.register_tenant(
+            spec.tenant_id, weight=spec.weight,
+            slo_delay_tuples=spec.slo_delay_tuples)
+
+    def tenant_spec(self, tenant_id: str) -> TenantSpec:
+        """The registered spec, or the default contract for that ID."""
+        spec = self._tenants.get(tenant_id)
+        if spec is None:
+            spec = TenantSpec(tenant_id)
+        return spec
+
     def submit(
         self,
         app: str,
@@ -169,8 +230,14 @@ class StreamService:
         window_seconds: float = 4e-6,
         params: Optional[Dict[str, Any]] = None,
         job_id: Optional[str] = None,
+        tenant_id: Optional[str] = None,
     ) -> str:
-        """Admit a stream job; returns its job ID."""
+        """Admit a stream job; returns its job ID.
+
+        Raises :class:`~repro.service.jobs.QuotaExceededError` when the
+        tenant's ``max_queued`` admission quota is full.
+        """
+        tenant_id = tenant_id or DEFAULT_TENANT
         job = Job(
             app=app,
             source=source,
@@ -178,21 +245,30 @@ class StreamService:
             deadline=deadline,
             window_seconds=window_seconds,
             params=dict(params or {}),
+            tenant_id=tenant_id,
             job_id=job_id or "",
         )
         # Validate application parameters at admission, not deep inside a
         # worker thread: a bad job must fail fast for the client.
         kernel_for(job.app, self.config.pripes, job.params)
+        job.submit_clock = self.metrics.dispatch_clock()
         self._jobs[job.job_id] = job
-        self._queue.submit(job)
-        self.metrics.jobs_submitted += 1
+        try:
+            # The queue enforces the tenant's max_queued quota under its
+            # own lock (atomic against concurrent ingest threads).
+            self._queue.submit(job)
+        except QuotaExceededError:
+            del self._jobs[job.job_id]
+            self.metrics.record_rejected(tenant_id)
+            raise
+        self.metrics.record_submit(tenant_id)
         return job.job_id
 
     def cancel(self, job_id: str) -> bool:
         """Withdraw a still-queued job."""
         cancelled = self._queue.cancel(job_id)
         if cancelled:
-            self.metrics.jobs_cancelled += 1
+            self.metrics.record_cancelled(self._job(job_id).tenant_id)
         return cancelled
 
     def poll(self, job_id: str) -> Dict[str, Any]:
@@ -201,12 +277,14 @@ class StreamService:
         return {
             "job_id": job.job_id,
             "app": job.app,
+            "tenant": job.tenant_id,
             "status": job.status.value,
             "priority": job.priority,
             "deadline": job.deadline,
             "windows_dispatched": job.windows_dispatched,
             "segments_done": len(job.history),
             "late_tuples": job.late_tuples,
+            "queue_delay": job.queue_delay,
             "error": job.error,
         }
 
@@ -225,24 +303,96 @@ class StreamService:
             cycles=sum(record.cycles for record in job.history),
             segments=len(job.history),
             late_tuples=job.late_tuples,
+            tenant_id=job.tenant_id,
+            queue_delay=job.queue_delay,
         )
 
     def run(self, max_jobs: Optional[int] = None) -> int:
         """Serve queued jobs until the queue empties; returns jobs run.
 
-        The dispatcher processes jobs strictly in queue order; each job's
-        windows fan out over the whole worker fleet.
+        The dispatcher admits jobs in the queue's weighted-fair order,
+        keeps up to ``TenantSpec.max_in_flight`` jobs per tenant in
+        flight at once, and interleaves the in-flight jobs' source
+        batches in proportion to tenant weight (a deficit counter per
+        tenant).  Each job's windows fan out over the whole worker
+        fleet.  ``max_jobs`` caps how many jobs are *admitted* (the
+        historical ``served`` semantics).
         """
         self._pool.start()
-        served = 0
-        while max_jobs is None or served < max_jobs:
+        self._step_credit.clear()
+        self._step_rotation.clear()
+        admitted = 0
+        finished = 0
+        active: List[_ActiveJob] = []
+        in_flight: Dict[str, int] = {}
+        while True:
             self.metrics.sample_queue_depth(self._queue.depth())
-            job = self._queue.pop(timeout=0.0)
-            if job is None:
+            while max_jobs is None or admitted < max_jobs:
+                if self.scheduler == "strict" and active:
+                    # The legacy dispatcher: one job at a time in global
+                    # strict order — a tenant at its cap must NOT let
+                    # lower-ranked tenants jump the line.
+                    break
+                blocked = {
+                    tenant for tenant, count in in_flight.items()
+                    if count >= self.tenant_spec(tenant).max_in_flight
+                }
+                job = self._queue.pop(timeout=0.0, blocked=blocked)
+                if job is None:
+                    break
+                other_by_key = any(entry.by_key for entry in active)
+                active.append(self._start_job(job, other_by_key))
+                in_flight[job.tenant_id] = \
+                    in_flight.get(job.tenant_id, 0) + 1
+                admitted += 1
+            if not active:
                 break
-            self._run_job(job)
-            served += 1
-        return served
+            for entry in self._step_round(active):
+                active.remove(entry)
+                tenant_id = entry.job.tenant_id
+                in_flight[tenant_id] -= 1
+                if in_flight[tenant_id] == 0 \
+                        and self._controller is not None:
+                    # The tenant's last stream left the fleet: its
+                    # histogram no longer belongs in the merged load
+                    # the control loop plans against.
+                    self._controller.forget_tenant(tenant_id)
+                finished += 1
+        return finished
+
+    def _step_round(self, active: List[_ActiveJob]) -> List[_ActiveJob]:
+        """One weighted scheduling round over the in-flight jobs.
+
+        Every tenant with in-flight jobs earns ``weight`` step credit;
+        each whole credit pulls one source batch from one of the
+        tenant's jobs (round-robin among them), so tenants share the
+        dispatcher in weight proportion whatever their job counts.
+        Returns the jobs that finished (or failed) this round.
+        """
+        finished: List[_ActiveJob] = []
+        by_tenant: Dict[str, List[_ActiveJob]] = {}
+        for entry in active:
+            by_tenant.setdefault(entry.job.tenant_id, []).append(entry)
+        for tenant_id in sorted(by_tenant):
+            credit = self._step_credit.get(tenant_id, 0.0) \
+                + self.tenant_spec(tenant_id).weight
+            steps = int(credit)
+            self._step_credit[tenant_id] = credit - steps
+            entries = by_tenant[tenant_id]
+            # The rotation pointer persists across rounds so a tenant
+            # whose weight grants one step per round still round-robins
+            # its in-flight jobs instead of pinning the first.
+            rotation = self._step_rotation.get(tenant_id, 0)
+            while steps > 0 and entries:
+                entry = entries[rotation % len(entries)]
+                steps -= 1
+                if self._step_job(entry):
+                    finished.append(entry)
+                    entries.remove(entry)
+                else:
+                    rotation += 1
+            self._step_rotation[tenant_id] = rotation
+        return finished
 
     def shutdown(self) -> None:
         """Stop the worker fleet (drains outstanding work first)."""
@@ -266,39 +416,66 @@ class StreamService:
             engine=self.engine,
         )
 
-    def _run_job(self, job: Job) -> None:
+    def _start_job(self, job: Job, other_by_key: bool) -> _ActiveJob:
         job.status = JobStatus.RUNNING
+        job.queue_delay = self.metrics.dispatch_clock() - job.submit_clock
+        self.metrics.record_queue_delay(job.tenant_id, job.queue_delay)
         # A resubmitted job id must not inherit a previous run's errors.
         self._pool.clear_errors(job.job_id)
-        windows = WindowManager(job.window_seconds,
-                                allowed_lateness=self.allowed_lateness)
         # Non-splittable kernels (heavy hitters) need every key's tuples
         # on one worker; a class-level contract, no kernel built.
         by_key = not kernel_class_for(job.app).splittable
-        if by_key and isinstance(self.balancer, SkewAwareBalancer):
+        if by_key and not other_by_key \
+                and isinstance(self.balancer, SkewAwareBalancer):
             # Sticky ownership is a per-job contract (sessions are per
-            # (worker, job)): forget the previous tenant's pins so this
+            # (worker, job)): forget the previous job's pins so this
             # job's keys place under the *current* plan and the map
-            # cannot grow without bound across jobs.
+            # cannot grow without bound across jobs.  With another
+            # by-key job still in flight the pins are shared state and
+            # must survive until that job collects.
             self.balancer.reset_key_ownership()
         if self._controller is not None:
             # A freeze is a per-workload verdict, not a service-lifetime
             # one: re-arm the control loop for the new job's stream.
             self._controller.unfreeze()
+        return _ActiveJob(
+            job=job,
+            windows=WindowManager(job.window_seconds,
+                                  allowed_lateness=self.allowed_lateness),
+            source=iter(job.source),
+            by_key=by_key,
+        )
+
+    def _step_job(self, entry: _ActiveJob) -> bool:
+        """Pull one source batch for one in-flight job.
+
+        Returns True when the job left the active set (completed or
+        failed) this step.
+        """
+        job = entry.job
         try:
-            for events in job.source:
-                self._dispatch(job, windows.observe(events), by_key)
-            self._dispatch(job, windows.flush(), by_key)
+            try:
+                events = next(entry.source)
+            except StopIteration:
+                self._dispatch(job, entry.windows.flush(), entry.by_key)
+                self._finish_job(entry)
+                return True
+            self._dispatch(job, entry.windows.observe(events),
+                           entry.by_key)
         except Exception as exc:  # noqa: BLE001 — a bad source fails the job
             self._pool.drain()
             self._pool.collect(job.job_id)  # release partial sessions
-            job.late_tuples = windows.late_tuples
-            self.metrics.record_late(windows.late_tuples)
+            job.late_tuples = entry.windows.late_tuples
+            self.metrics.record_late(entry.windows.late_tuples)
             self._fail(job, f"source error: {exc}")
-            return
+            return True
+        return False
+
+    def _finish_job(self, entry: _ActiveJob) -> None:
+        job = entry.job
         self._pool.drain()
-        job.late_tuples = windows.late_tuples
-        self.metrics.record_late(windows.late_tuples)
+        job.late_tuples = entry.windows.late_tuples
+        self.metrics.record_late(entry.windows.late_tuples)
         errors = self._pool.errors(job.job_id)
         if errors:
             self._pool.collect(job.job_id)  # release partial sessions
@@ -309,16 +486,17 @@ class StreamService:
             job.result = merged.result
             job.history = merged.history
         job.status = JobStatus.COMPLETED
-        self.metrics.jobs_completed += 1
+        self.metrics.record_completed(job.tenant_id)
         self.metrics.rebalances = self.balancer.rebalances
 
     def _fail(self, job: Job, message: str) -> None:
         job.status = JobStatus.FAILED
         job.error = message
-        self.metrics.jobs_failed += 1
+        self.metrics.record_failed(job.tenant_id)
 
     def _dispatch(self, job: Job, closed_windows,
                   by_key: bool = False) -> None:
+        spec = self.tenant_spec(job.tenant_id)
         for window in closed_windows:
             batch = window.to_batch()
             if len(batch) == 0:
@@ -326,21 +504,45 @@ class StreamService:
             self.metrics.record_window(len(batch))
             keys = np.asarray(batch.keys)
             if self._controller is not None:
-                self._controller.on_window(keys, len(batch))
+                self._controller.on_window(keys, len(batch),
+                                           tenant_id=job.tenant_id)
             else:
                 # Legacy reflexive path: observe replans as a side
-                # effect; charge the stall for every plan change so the
-                # accounting matches the adaptive path's.
+                # effect; charge the stall for every plan change (to the
+                # tenant whose window triggered it) so the accounting
+                # matches the adaptive path's.
                 changes_before = self.balancer.rebalances
                 self.balancer.observe(keys)
                 changed = self.balancer.rebalances - changes_before
                 if changed and self.reschedule_cost_cycles:
                     self.metrics.record_control(
-                        stall_cycles=changed * self.reschedule_cost_cycles)
+                        stall_cycles=changed * self.reschedule_cost_cycles,
+                        tenant=job.tenant_id)
             shards = self.balancer.split(batch, by_key=by_key)
+            shards = self._fold_to_quota(shards, spec)
             for worker_id, shard in shards.items():
                 self._pool.dispatch(
                     worker_id,
-                    WorkItem(job_id=job.job_id, batch=shard),
+                    WorkItem(job_id=job.job_id, batch=shard,
+                             tenant_id=job.tenant_id),
                 )
             job.windows_dispatched += 1
+
+    def _fold_to_quota(self, shards, spec: TenantSpec):
+        """Cap a tenant's fan-out at its worker quota.
+
+        Shards bound for workers beyond the quota fold onto
+        ``worker_id % quota`` — deterministic, so a by-key job's tuples
+        still land on one (folded) worker per key.
+        """
+        quota = spec.worker_quota
+        if quota is None or quota >= self._pool.size:
+            return shards
+        folded: Dict[int, Any] = {}
+        for worker_id in sorted(shards):
+            target = worker_id % quota
+            if target in folded:
+                folded[target] = folded[target].concat(shards[worker_id])
+            else:
+                folded[target] = shards[worker_id]
+        return folded
