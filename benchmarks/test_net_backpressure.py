@@ -1,0 +1,176 @@
+"""Network-ingestion headlines: bounded backpressure and wire fidelity.
+
+The gateway puts a real socket in front of the serving fleet, so the
+queue-depth metrics finally face an adversary: a client that admits
+faster than the fleet drains.  Two asserted headlines:
+
+* **bounded ingest under flood**: an over-admitting client (ignores its
+  credits) fires a burst of batches at a frozen dispatcher.  With the
+  high-water mark on, the ingest-depth p95 stays at the mark, the
+  excess is *shed* (counted, never buffered) and every batch the
+  gateway acked is reflected exactly in the final result — no loss of
+  accepted work.  With the mark disabled the buffered depth grows with
+  the whole flood.
+* **wire fidelity**: the same seeded workload submitted over the socket
+  and in-process produces bit-identical results (and identical cycle
+  accounting) — the network front-end changes where batches come from,
+  not what the fleet computes.
+"""
+
+import numpy as np
+
+from repro.net import StreamClient, StreamGateway
+from repro.service import StreamService
+from repro.service.jobs import kernel_for
+from repro.workloads.streams import chunk_stream
+from repro.workloads.zipf import ZipfGenerator
+
+WORKERS = 2
+ALPHA = 1.5
+WINDOW_SECONDS = 2.56e-6
+#: The flood: FLOOD_BATCHES batches of CHUNK tuples fired at a frozen
+#: dispatcher (drain rate zero — the worst over-admission case).
+FLOOD_BATCHES = 48
+CHUNK = 1_000
+HIGH_WATER = 8
+
+
+def flood_batches(seed=11):
+    return list(chunk_stream(
+        ZipfGenerator(alpha=ALPHA, seed=seed).generate(
+            FLOOD_BATCHES * CHUNK), CHUNK))
+
+
+def golden_histogram(batches):
+    keys = np.concatenate([b.batch.keys for b in batches])
+    values = np.concatenate([b.batch.values for b in batches])
+    return kernel_for("histo", 16).golden(keys, values)
+
+
+def flood_once(high_water):
+    """Fire the flood at a frozen dispatcher; then drain and collect.
+
+    Returns (ingest-depth stats, shed count, accepted mask, lossless).
+    """
+    batches = flood_batches()
+    service = StreamService(workers=WORKERS)
+    gateway = StreamGateway(service, high_water=high_water, serve=False)
+    gateway.start()
+    client = StreamClient(gateway.host, gateway.port)
+    try:
+        job_id = client.submit("histo", window_seconds=WINDOW_SECONDS)
+        accepted = [client.send_batch(job_id, batch, wait=False)
+                    for batch in batches]
+        client.end(job_id)
+        gateway.start_serving()
+        result = client.result(job_id)
+        kept = [b for b, ok in zip(batches, accepted) if ok]
+        lossless = bool(np.array_equal(result.result,
+                                       golden_histogram(kept)))
+        snap = service.metrics.snapshot()["gateway"]
+        return (snap["ingest_depth"], snap["batches_shed"],
+                sum(accepted), lossless)
+    finally:
+        client.close()
+        gateway.stop()
+        service.shutdown()
+
+
+def test_backpressure_bounds_ingest_depth_under_flood(emit):
+    bounded_depth, bounded_shed, bounded_accepted, bounded_lossless = \
+        flood_once(high_water=HIGH_WATER)
+    open_depth, open_shed, open_accepted, open_lossless = \
+        flood_once(high_water=None)
+
+    emit("net_backpressure",
+         f"over-admitting flood: {FLOOD_BATCHES} batches x {CHUNK} "
+         f"tuples at a frozen dispatcher, high-water {HIGH_WATER}:\n"
+         f"  backpressure on : ingest depth p95 "
+         f"{bounded_depth['p95']:.0f} (peak {bounded_depth['peak']}), "
+         f"{bounded_shed} shed, {bounded_accepted} accepted, "
+         f"lossless={bounded_lossless}\n"
+         f"  high-water off  : ingest depth p95 "
+         f"{open_depth['p95']:.0f} (peak {open_depth['peak']}), "
+         f"{open_shed} shed, {open_accepted} accepted, "
+         f"lossless={open_lossless}",
+         data={
+             "flood_batches": FLOOD_BATCHES,
+             "chunk_tuples": CHUNK,
+             "high_water": HIGH_WATER,
+             "backpressure": {
+                 "ingest_depth_p95": bounded_depth["p95"],
+                 "ingest_depth_peak": bounded_depth["peak"],
+                 "batches_shed": bounded_shed,
+                 "batches_accepted": bounded_accepted,
+                 "accepted_results_lossless": bounded_lossless,
+             },
+             "unbounded": {
+                 "ingest_depth_p95": open_depth["p95"],
+                 "ingest_depth_peak": open_depth["peak"],
+                 "batches_shed": open_shed,
+                 "batches_accepted": open_accepted,
+                 "accepted_results_lossless": open_lossless,
+             },
+         })
+
+    # Backpressure on: depth pinned at the mark, flood shed, and the
+    # accepted batches' results survive intact.
+    assert bounded_depth["peak"] <= HIGH_WATER
+    assert bounded_depth["p95"] <= HIGH_WATER
+    assert bounded_shed == FLOOD_BATCHES - HIGH_WATER > 0
+    assert bounded_lossless
+    # High-water disabled: the buffer absorbs the entire flood — depth
+    # grows with the burst instead of staying bounded.
+    assert open_shed == 0
+    assert open_depth["peak"] >= FLOOD_BATCHES
+    assert open_depth["peak"] >= 5 * bounded_depth["peak"]
+    assert open_lossless
+
+
+def test_wire_results_bit_identical_to_in_process(emit):
+    tuples = 16_000
+    batches = list(chunk_stream(
+        ZipfGenerator(alpha=ALPHA, seed=3).generate(tuples), 4_000))
+
+    local = StreamService(workers=WORKERS)
+    local_job = local.submit("histo", iter(batches),
+                             window_seconds=WINDOW_SECONDS)
+    local.run()
+    reference = local.result(local_job)
+    local.shutdown()
+
+    service = StreamService(workers=WORKERS)
+    gateway = StreamGateway(service, high_water=HIGH_WATER)
+    gateway.start()
+    with StreamClient(gateway.host, gateway.port) as client:
+        job_id = client.submit_stream("histo", iter(batches),
+                                      window_seconds=WINDOW_SECONDS)
+        wire = client.result(job_id)
+    gateway.stop()
+    service.shutdown()
+
+    identical = bool(np.array_equal(wire.result, reference.result))
+    emit("net_wire_equivalence",
+         f"histo, Zipf {ALPHA}, {tuples:,} tuples in {len(batches)} "
+         f"batches, {WORKERS} workers:\n"
+         f"  in-process : {reference.tuples:,} tuples, "
+         f"{reference.cycles:,} cycles, {reference.segments} segments\n"
+         f"  over TCP   : {wire.tuples:,} tuples, "
+         f"{wire.cycles:,} cycles, {wire.segments} segments\n"
+         f"  bit-identical results: {identical}",
+         data={
+             "tuples": tuples,
+             "batches": len(batches),
+             "identical_results": identical,
+             "in_process": {"tuples": reference.tuples,
+                            "cycles": reference.cycles,
+                            "segments": reference.segments},
+             "over_wire": {"tuples": wire.tuples,
+                           "cycles": wire.cycles,
+                           "segments": wire.segments},
+         })
+
+    assert identical
+    assert wire.tuples == reference.tuples == tuples
+    assert wire.cycles == reference.cycles
+    assert wire.segments == reference.segments

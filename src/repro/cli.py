@@ -21,7 +21,14 @@ Commands
     skew-aware balancer processing a multi-tenant job mix.
 ``submit``
     One-shot job submission: run a single stream job through the service
-    and print its result and the fleet metrics.
+    and print its result and the fleet metrics.  With ``--connect
+    HOST:PORT`` the job is streamed to a running gateway over TCP
+    instead of an in-process fleet.
+``ingest``
+    Run the TCP ingestion gateway in front of a serving fleet: clients
+    connect with the newline-delimited JSON protocol (``repro submit
+    --connect``, or :class:`repro.net.StreamClient`) and stream batches
+    under credit-based backpressure.
 """
 
 from __future__ import annotations
@@ -195,7 +202,8 @@ def _service_for(args: argparse.Namespace):
                             engine=args.engine,
                             adaptive=args.adaptive, slo=args.slo,
                             reschedule_cost_cycles=args.reschedule_cost,
-                            scheduler=args.scheduler)
+                            scheduler=args.scheduler,
+                            retained_jobs=args.retain_jobs)
     if args.tenant is not None:
         service.register_tenant(TenantSpec(
             args.tenant, weight=args.weight,
@@ -288,11 +296,84 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Serve jobs arriving over TCP until interrupted (or a job count)."""
+    import time
+
+    from repro.net import StreamGateway
+
+    service = _service_for(args)
+    if args.retain_jobs is None:
+        # A network service is long-lived: never default to unbounded
+        # job retention here (in-process runs keep the historical
+        # keep-everything default).
+        service.retained_jobs = 1024
+    gateway = StreamGateway(
+        service, host=args.host, port=args.port,
+        high_water=None if args.no_backpressure else args.high_water)
+    gateway.start()
+    print(f"{gateway.describe()} — {args.workers} workers, "
+          f"{args.engine} engine", flush=True)
+    if args.ready_file:
+        pathlib.Path(args.ready_file).write_text(
+            f"{gateway.host} {gateway.port}\n")
+    failed = False
+    try:
+        while True:
+            time.sleep(0.05)
+            if gateway.dispatch_error is not None:
+                print(f"dispatcher died: {gateway.dispatch_error}",
+                      file=sys.stderr)
+                failed = True
+                break
+            metrics = service.metrics
+            done = (metrics.jobs_completed + metrics.jobs_failed
+                    + metrics.jobs_cancelled)
+            if args.serve_jobs is not None and done >= args.serve_jobs:
+                break
+    except KeyboardInterrupt:
+        pass
+    gateway.stop()
+    print()
+    print(service.metrics.render())
+    service.shutdown()
+    return 1 if failed else 0
+
+
+def _submit_over_wire(args: argparse.Namespace, params) -> int:
+    """The ``submit --connect`` path: stream the job to a gateway."""
+    from repro.net import StreamClient
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SystemExit(f"--connect expects HOST:PORT, got {args.connect!r}")
+    source = _zipf_source(args.app, args.alpha, args.tuples, args.seed,
+                          vertices=args.vertices)
+    with StreamClient(host, int(port_text),
+                      tenant=args.tenant or "default") as client:
+        job_id = client.submit_stream(
+            args.app, source,
+            priority=args.priority,
+            deadline=args.deadline,
+            window_seconds=args.window_us * 1e-6,
+            params=params,
+        )
+        result = client.result(job_id)
+    print(f"job {job_id:<12} app={args.app:<8} status=completed "
+          f"segments={result.segments} tuples={result.tuples:,} "
+          f"t/c={result.tuples_per_cycle:.3f} "
+          f"(over the wire via {args.connect}, "
+          f"{client.credit_stalls} credit stalls)")
+    return 0
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
     """Submit one job, serve it, and print the outcome."""
-    service = _service_for(args)
     params = {"num_vertices": args.vertices} if args.app == "pagerank" \
         else None
+    if args.connect is not None:
+        return _submit_over_wire(args, params)
+    service = _service_for(args)
     job_id = service.submit(
         args.app,
         _zipf_source(args.app, args.alpha, args.tuples, args.seed,
@@ -416,6 +497,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="queue-delay SLO of --tenant, in dispatched "
                             "tuples (per-tenant attainment is reported "
                             "and steers the autoscaler)")
+        p.add_argument("--retain-jobs", type=positive(int), default=None,
+                       help="bounded retention of finished jobs "
+                            "(default: keep all in-process; the ingest "
+                            "gateway defaults to 1024)")
 
     p = sub.add_parser("serve", help="run the stream-serving fleet")
     add_service_options(p)
@@ -432,7 +517,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="event-time deadline in seconds (EDF tiebreak)")
     p.add_argument("--vertices", type=int, default=4096,
                    help="graph size for pagerank jobs")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="stream the job to a running `repro ingest` "
+                        "gateway over TCP instead of an in-process "
+                        "fleet (service options are the gateway's)")
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("ingest",
+                       help="serve jobs over the TCP ingestion gateway")
+    add_service_options(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=non_negative(int), default=0,
+                   help="listen port (0 binds an ephemeral port, "
+                        "printed on startup)")
+    p.add_argument("--high-water", type=positive(int), default=64,
+                   help="per-tenant buffered-batch cap before the "
+                        "gateway withholds credits and sheds")
+    p.add_argument("--no-backpressure", action="store_true",
+                   help="disable the high-water mark (unlimited "
+                        "credits; the benchmark's unbounded baseline)")
+    p.add_argument("--serve-jobs", type=positive(int), default=None,
+                   help="exit after this many jobs reach a terminal "
+                        "state (default: serve until Ctrl-C)")
+    p.add_argument("--ready-file", default=None,
+                   help="write 'HOST PORT' here once listening "
+                        "(for scripts and tests)")
+    p.set_defaults(func=cmd_ingest)
 
     return parser
 

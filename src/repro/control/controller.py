@@ -277,6 +277,21 @@ class AdaptiveController:
     # ------------------------------------------------------------------
     # Plan application
     # ------------------------------------------------------------------
+    def _cache_namespace(self) -> Optional[str]:
+        """Scope cached plans to the tenant mixture they balance.
+
+        A plan is built from the *merged* histogram of the in-flight
+        tenants, so the cache key must name that mixture: a single
+        tenant's recurring distribution caches under its own id (two
+        tenants with clashing signatures no longer evict each other —
+        the ROADMAP's per-tenant plan-cache item), and a concurrent
+        mixture caches under the joined ids, separate from any one
+        member's solo plans.
+        """
+        if not self._tenant_histograms:
+            return None
+        return "+".join(sorted(self._tenant_histograms))
+
     def _adopt_plan(self, histogram: np.ndarray,
                     initial: bool = False,
                     tenant_id: Optional[str] = None) -> None:
@@ -284,6 +299,7 @@ class AdaptiveController:
             histogram,
             lambda: greedy_secpe_plan(histogram, self.balancer.secondaries,
                                       self.balancer.primaries),
+            namespace=self._cache_namespace(),
         )
         plan_age = self.windows - self._plan_born_window
         self.balancer.apply_plan(plan)

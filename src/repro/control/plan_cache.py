@@ -9,6 +9,13 @@ histogram: each shard's share quantized to ``levels`` buckets, so two
 samples of the same underlying distribution (which differ by sampling
 noise well below one bucket) collapse onto the same key, while a moved
 hot shard lands in a different one.
+
+Keys carry an optional *namespace* — the tenant (or tenant mixture) the
+histogram belongs to.  Signatures are deliberately coarse, so two
+tenants with clashing recurring distributions would otherwise share
+keys and evict each other's plans on every alternation; namespacing
+scopes each tenant's recurring signatures to its own key space while
+one LRU budget still covers the whole cache.
 """
 
 from __future__ import annotations
@@ -62,10 +69,15 @@ class PlanCache:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self.levels = levels
-        self._plans: "OrderedDict[Tuple[int, ...], SchedulingPlan]" = \
+        self._plans: "OrderedDict[Tuple[Optional[str], Tuple[int, ...]], SchedulingPlan]" = \
             OrderedDict()
         self.hits = 0
         self.misses = 0
+
+    def _key(self, histogram: np.ndarray,
+             namespace: Optional[str]) -> Tuple[Optional[str],
+                                                Tuple[int, ...]]:
+        return (namespace, histogram_signature(histogram, self.levels))
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -76,22 +88,31 @@ class PlanCache:
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
 
-    def lookup(self, histogram: np.ndarray) -> Optional[SchedulingPlan]:
-        """Cached plan for a histogram's signature, or None (counted)."""
-        signature = histogram_signature(histogram, self.levels)
-        plan = self._plans.get(signature)
+    def lookup(self, histogram: np.ndarray,
+               namespace: Optional[str] = None
+               ) -> Optional[SchedulingPlan]:
+        """Cached plan for a histogram's signature, or None (counted).
+
+        ``namespace`` scopes the signature (tenant id / tenant mixture);
+        plans stored under one namespace are invisible to lookups under
+        another, so tenants with clashing recurring distributions cannot
+        evict each other's plans.
+        """
+        key = self._key(histogram, namespace)
+        plan = self._plans.get(key)
         if plan is None:
             self.misses += 1
             return None
-        self._plans.move_to_end(signature)
+        self._plans.move_to_end(key)
         self.hits += 1
         return plan
 
-    def store(self, histogram: np.ndarray, plan: SchedulingPlan) -> None:
+    def store(self, histogram: np.ndarray, plan: SchedulingPlan,
+              namespace: Optional[str] = None) -> None:
         """Insert (or refresh) a plan under the histogram's signature."""
-        signature = histogram_signature(histogram, self.levels)
-        self._plans[signature] = plan
-        self._plans.move_to_end(signature)
+        key = self._key(histogram, namespace)
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
         while len(self._plans) > self.capacity:
             self._plans.popitem(last=False)
 
@@ -99,17 +120,18 @@ class PlanCache:
         self,
         histogram: np.ndarray,
         builder: Callable[[], SchedulingPlan],
+        namespace: Optional[str] = None,
     ) -> Tuple[SchedulingPlan, bool]:
         """Cached plan if present, else build and store one.
 
         Returns ``(plan, hit)`` where ``hit`` says whether the plan came
         from the cache.
         """
-        plan = self.lookup(histogram)
+        plan = self.lookup(histogram, namespace)
         if plan is not None:
             return plan, True
         plan = builder()
-        self.store(histogram, plan)
+        self.store(histogram, plan, namespace)
         return plan, False
 
     def clear(self) -> None:

@@ -1,0 +1,136 @@
+"""Per-job ingest buffer between a client connection and the dispatcher.
+
+An :class:`IngestBuffer` is the job's ``source`` iterable handed to
+:meth:`StreamService.submit`: the gateway's connection thread *puts*
+decoded batches, the dispatcher thread *iterates* them out.  The buffer
+itself never blocks producers — capacity policy (the per-tenant
+high-water mark) lives in the gateway, which sheds a batch *before*
+putting it rather than buffering unboundedly.  Consumers block until a
+batch arrives, the stream is closed (iteration ends) or aborted (the
+iterator raises, failing the job through the dispatcher's normal
+source-error path).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Iterator, Optional
+
+from repro.workloads.streams import TimestampedBatch
+
+
+class IngestBuffer:
+    """Thread-safe FIFO of :class:`TimestampedBatch` feeding one job.
+
+    Parameters
+    ----------
+    on_drain:
+        Called (outside the buffer lock) after a consumer takes a batch;
+        the gateway uses it to wake credit-stalled producers.
+    idle_timeout:
+        Seconds a consumer may wait for the *next* batch before the
+        stream is declared dead (raises, failing the job).  The service
+        dispatcher is a single thread pulling every in-flight job's
+        source, so a client that opens a stream and then goes quiet —
+        no batch, no ``end``, connection still up — would stall the
+        whole fleet; the timeout bounds that stall.  None waits forever
+        (in-process sources that are never idle).
+    """
+
+    def __init__(self, on_drain: Optional[Callable[[], None]] = None,
+                 idle_timeout: Optional[float] = None) -> None:
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive (or None)")
+        self._items: Deque[TimestampedBatch] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._abort_reason: Optional[str] = None
+        self._on_drain = on_drain
+        self._idle_timeout = idle_timeout
+        self.batches_in = 0
+        self.tuples_in = 0
+        self.depth_peak = 0
+
+    # ------------------------------------------------------------------
+    # Producer side (gateway connection thread)
+    # ------------------------------------------------------------------
+    def put(self, batch: TimestampedBatch) -> None:
+        """Append one batch; raises once the stream is closed/aborted."""
+        with self._cond:
+            if self._closed or self._abort_reason is not None:
+                raise RuntimeError("ingest stream is closed")
+            self._items.append(batch)
+            self.batches_in += 1
+            self.tuples_in += len(batch)
+            self.depth_peak = max(self.depth_peak, len(self._items))
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """End of stream: buffered batches still drain, then iteration
+        stops (the job's windows flush and it completes)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def abort(self, reason: str) -> None:
+        """Poison the stream (connection lost, gateway stopping): the
+        consumer raises immediately, failing the job deterministically
+        instead of serving a silently truncated stream."""
+        with self._cond:
+            if self._abort_reason is None:
+                self._abort_reason = reason
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Consumer side (service dispatcher thread)
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[TimestampedBatch]:
+        return self
+
+    def __next__(self) -> TimestampedBatch:
+        with self._cond:
+            deadline = (None if self._idle_timeout is None
+                        else time.monotonic() + self._idle_timeout)
+            while True:
+                if self._abort_reason is not None:
+                    raise RuntimeError(
+                        f"ingest stream aborted: {self._abort_reason}")
+                if self._items:
+                    item = self._items.popleft()
+                    break
+                if self._closed:
+                    raise StopIteration
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RuntimeError(
+                        f"ingest stream idle for "
+                        f"{self._idle_timeout:g}s (client stopped "
+                        f"streaming without `end`)")
+                self._cond.wait(timeout=remaining)
+        if self._on_drain is not None:
+            self._on_drain()
+        return item
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Batches currently buffered."""
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed or self._abort_reason is not None
+
+    def drained(self) -> bool:
+        """True once the stream ended and every batch was consumed."""
+        with self._cond:
+            return not self._items and (
+                self._closed or self._abort_reason is not None)

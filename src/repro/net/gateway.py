@@ -1,0 +1,547 @@
+"""TCP ingestion front-end for :class:`StreamService`.
+
+:class:`StreamGateway` turns the in-process serving fleet into a
+network service: clients connect over TCP, authenticate a tenant, and
+stream batches into per-job :class:`~repro.net.buffer.IngestBuffer`\\ s
+that the service dispatcher (run by the gateway's own dispatcher
+thread) consumes.  The wire protocol is newline-delimited JSON
+(:mod:`repro.net.protocol`).
+
+Backpressure is credit based: a tenant may keep at most ``high_water``
+batches buffered across its open streams.  Each ``batch`` consumes one
+credit and the reply carries the remaining credits; at zero the
+well-behaved client stalls on a ``credit`` request, which blocks until
+the dispatcher drains the tenant below the mark (counted as a *credit
+stall*).  A client that ignores its credits and keeps sending is *shed*:
+the batch is dropped with a ``busy`` reply (counted, never buffered), so
+gateway memory stays bounded whatever the client does.  Constructing the
+gateway with ``high_water=None`` disables backpressure — the baseline
+the benchmark measures unbounded growth against.
+
+Threading: one accept thread, one thread per connection, and one
+dispatcher thread looping :meth:`StreamService.run`.  Connection
+threads only touch the service through its thread-safe client API
+(``submit`` / ``poll`` / ``result`` / ``cancel``); the dispatcher
+thread is the only one stepping jobs.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.net import protocol
+from repro.net.buffer import IngestBuffer
+from repro.service.jobs import DEFAULT_TENANT, QuotaExceededError
+from repro.service.server import StreamService
+
+#: How long the dispatcher thread naps between empty-queue sweeps, and
+#: how often blocked waits (credit, result) re-check for shutdown.
+POLL_INTERVAL = 0.005
+
+#: Default cap on buffered batches per tenant (the high-water mark).
+DEFAULT_HIGH_WATER = 64
+
+
+class _TenantGate:
+    """One tenant's ingest accounting: open buffers + a wakeup point."""
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.buffers: List[IngestBuffer] = []
+
+    def add(self, buffer: IngestBuffer) -> None:
+        with self.cond:
+            self.buffers.append(buffer)
+
+    def depth(self) -> int:
+        """Buffered batches across the tenant's live streams."""
+        with self.cond:
+            self.buffers = [b for b in self.buffers if not b.drained()]
+            return sum(b.depth() for b in self.buffers)
+
+    def notify(self) -> None:
+        with self.cond:
+            self.cond.notify_all()
+
+
+class _Connection:
+    """Per-connection state owned by its handler thread."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.tenant: Optional[str] = None
+        self.buffers: Dict[str, IngestBuffer] = {}
+
+
+class StreamGateway:
+    """Socket front door of one :class:`StreamService`.
+
+    Parameters
+    ----------
+    service:
+        The fleet to serve.  The gateway runs the service's dispatcher
+        in its own thread; callers must not call ``service.run()``
+        themselves while the gateway serves.
+    host / port:
+        Listen address; port 0 binds an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    high_water:
+        Per-tenant cap on buffered batches — the backpressure mark.
+        None disables backpressure (unlimited credits, never sheds).
+    tokens:
+        Optional ``{tenant_id: token}`` map.  When given, ``hello`` must
+        present the matching token; tenants not in the map are refused.
+        None accepts any tenant name unauthenticated (the in-process
+        trust model, kept for demos and tests).
+    serve:
+        Start the dispatcher thread with :meth:`start` (default).  Pass
+        False to control dispatch explicitly via :meth:`start_serving`
+        (tests freeze the dispatcher to make floods deterministic).
+    result_timeout:
+        Default seconds a ``result`` request may block server-side.
+    idle_timeout:
+        Seconds an *open* stream may sit with no buffered batch while
+        the dispatcher waits on it before the job is failed.  The
+        dispatcher is one thread pulling every in-flight source, so a
+        client that submits and then goes quiet would otherwise stall
+        the whole fleet.  None disables the guard.
+    max_line_bytes:
+        Reject (and disconnect) any wire line longer than this; reads
+        are capped at this length, so a client cannot grow gateway
+        memory with an endless unterminated line.
+    """
+
+    def __init__(
+        self,
+        service: StreamService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        high_water: Optional[int] = DEFAULT_HIGH_WATER,
+        tokens: Optional[Dict[str, str]] = None,
+        serve: bool = True,
+        result_timeout: float = 60.0,
+        idle_timeout: Optional[float] = 60.0,
+        max_line_bytes: int = protocol.MAX_LINE_BYTES,
+    ) -> None:
+        if high_water is not None and high_water < 1:
+            raise ValueError("high_water must be at least 1 (or None)")
+        if max_line_bytes < 1:
+            raise ValueError("max_line_bytes must be positive")
+        self.service = service
+        self.metrics = service.metrics
+        self.high_water = high_water
+        self.tokens = tokens
+        self.result_timeout = result_timeout
+        self.idle_timeout = idle_timeout
+        self.max_line_bytes = max_line_bytes
+        self._serve_on_start = serve
+        self.host = host
+        self.port = port
+        self._listener: Optional[socket.socket] = None
+        self._stop = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._dispatch_thread: Optional[threading.Thread] = None
+        self._dispatch_error: Optional[str] = None
+        self._gates: Dict[str, _TenantGate] = {}
+        self._gates_lock = threading.Lock()
+        self._connections: List[_Connection] = []
+        self._conn_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bind the listener and start accepting (and, by default,
+        dispatching)."""
+        if self._listener is not None:
+            return
+        self._listener = socket.create_server((self.host, self.port))
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="gateway-accept", daemon=True)
+        self._accept_thread.start()
+        if self._serve_on_start:
+            self.start_serving()
+
+    def start_serving(self) -> None:
+        """Start (or resume) the dispatcher thread."""
+        if self._dispatch_thread is not None \
+                and self._dispatch_thread.is_alive():
+            return
+        self._dispatch_thread = threading.Thread(
+            target=self._dispatch_loop, name="gateway-dispatch",
+            daemon=True)
+        self._dispatch_thread.start()
+
+    def stop(self) -> None:
+        """Stop accepting, abort open streams, and join every thread.
+
+        The underlying service is left running — its owner shuts it
+        down (``service.shutdown()``) when done with the fleet.
+        """
+        self._stop.set()
+        if self._listener is not None:
+            # Closing a listening socket does not interrupt a blocked
+            # accept() on every platform: poke it with a throwaway
+            # connection so the accept thread observes the stop flag.
+            try:
+                with socket.create_connection(
+                        (self.host, self.port), timeout=1.0):
+                    pass
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            for buffer in conn.buffers.values():
+                if not buffer.closed:
+                    buffer.abort("gateway stopping")
+            try:
+                conn.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        with self._gates_lock:
+            for gate in self._gates.values():
+                gate.notify()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=10.0)
+        for thread in list(self._threads):
+            thread.join(timeout=10.0)
+        if self._dispatch_thread is not None:
+            self._dispatch_thread.join(timeout=60.0)
+        self._listener = None
+
+    @property
+    def address(self) -> str:
+        """``host:port`` once started."""
+        return f"{self.host}:{self.port}"
+
+    @property
+    def dispatch_error(self) -> Optional[str]:
+        """Why the dispatcher thread died, or None while it is healthy.
+
+        A dead dispatcher means no job will ever finish again: the CLI
+        loop exits on it and pending ``result`` requests are refused
+        with a ``dispatcher-error`` reply instead of timing out blind.
+        """
+        return self._dispatch_error
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI."""
+        mark = ("off" if self.high_water is None
+                else f"{self.high_water} batches/tenant")
+        return f"gateway on {self.address} (backpressure {mark})"
+
+    # ------------------------------------------------------------------
+    # Dispatcher thread
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.service.run()
+            except Exception as exc:  # noqa: BLE001
+                # Surfaced via the dispatch_error property: the CLI
+                # loop exits on it and result requests are refused.
+                self._dispatch_error = str(exc)
+                return
+            self._stop.wait(POLL_INTERVAL)
+
+    # ------------------------------------------------------------------
+    # Accept / connection threads
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            if self._stop.is_set():
+                sock.close()  # stop()'s wake-up poke, not a client
+                return
+            conn = _Connection(sock)
+            with self._conn_lock:
+                self._connections.append(conn)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="gateway-conn", daemon=True)
+            # Keep only live handlers: a long-lived gateway serving many
+            # short connections must not pin every dead Thread object.
+            self._threads = [t for t in self._threads if t.is_alive()]
+            self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: _Connection) -> None:
+        self.metrics.record_gateway(connections=1)
+        rfile = conn.sock.makefile("rb")
+        try:
+            while True:
+                # Bounded read: an unterminated line cannot grow past
+                # the cap before the length check runs — readline
+                # returns at most max_line_bytes + 1 bytes.
+                line = rfile.readline(self.max_line_bytes + 1)
+                if not line:
+                    break
+                self.metrics.record_gateway(bytes_in=len(line))
+                if len(line) > self.max_line_bytes:
+                    self.metrics.record_gateway(errors=1)
+                    self._send(conn, {
+                        "type": "error", "code": "protocol",
+                        "error": f"line exceeds {self.max_line_bytes} "
+                                 f"bytes"})
+                    break  # stream framing is lost; disconnect
+                try:
+                    message = protocol.decode(line)
+                    reply = self._handle(conn, message)
+                except protocol.ProtocolError as exc:
+                    self.metrics.record_gateway(errors=1)
+                    reply = {"type": "error", "code": "protocol",
+                             "error": str(exc)}
+                    message = {}
+                if reply is not None:
+                    self._send(conn, reply)
+                if message.get("type") == "bye":
+                    break
+        except (OSError, ValueError):
+            pass  # connection torn down mid-read
+        finally:
+            # A vanished client must not leave the dispatcher waiting on
+            # a stream that will never end: abort still-open streams so
+            # their jobs fail through the normal source-error path.
+            for buffer in conn.buffers.values():
+                if not buffer.closed:
+                    buffer.abort("client connection lost")
+            if conn.tenant is not None:
+                self._gate(conn.tenant).notify()
+            with self._conn_lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+            self.metrics.record_gateway(disconnects=1)
+
+    def _send(self, conn: _Connection, reply: Dict[str, Any]) -> None:
+        payload = protocol.encode(reply)
+        conn.sock.sendall(payload)
+        self.metrics.record_gateway(bytes_out=len(payload))
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+    def _handle(self, conn: _Connection,
+                message: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        kind = message["type"]
+        if kind == "hello":
+            return self._on_hello(conn, message)
+        if kind == "bye":
+            return {"type": "ack"}
+        if conn.tenant is None:
+            return {"type": "error", "code": "hello-required",
+                    "error": "send hello before anything else"}
+        handlers = {
+            "submit": self._on_submit,
+            "batch": self._on_batch,
+            "end": self._on_end,
+            "credit": self._on_credit,
+            "poll": self._on_poll,
+            "result": self._on_result,
+            "cancel": self._on_cancel,
+        }
+        handler = handlers.get(kind)
+        if handler is None:
+            self.metrics.record_gateway(errors=1)
+            return {"type": "error", "code": "protocol",
+                    "error": f"unknown message type {kind!r}"}
+        return handler(conn, message)
+
+    def _on_hello(self, conn: _Connection,
+                  message: Dict[str, Any]) -> Dict[str, Any]:
+        tenant = message.get("tenant") or DEFAULT_TENANT
+        if self.tokens is not None:
+            expected = self.tokens.get(tenant)
+            if expected is None or message.get("token") != expected:
+                return {"type": "error", "code": "auth",
+                        "error": f"bad credentials for tenant {tenant!r}"}
+        conn.tenant = tenant
+        return {
+            "type": "welcome",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "tenant": tenant,
+            "high_water": self.high_water,
+            "credits": self._credits(tenant),
+        }
+
+    def _on_submit(self, conn: _Connection,
+                   message: Dict[str, Any]) -> Dict[str, Any]:
+        gate = self._gate(conn.tenant)
+        buffer = IngestBuffer(on_drain=gate.notify,
+                              idle_timeout=self.idle_timeout)
+        try:
+            job_id = self.service.submit(
+                message.get("app", ""),
+                buffer,
+                priority=int(message.get("priority", 0)),
+                deadline=message.get("deadline"),
+                window_seconds=float(
+                    message.get("window_seconds", 4e-6)),
+                params=message.get("params"),
+                job_id=message.get("job_id"),
+                tenant_id=conn.tenant,
+            )
+        except QuotaExceededError as exc:
+            return {"type": "error", "code": "quota", "error": str(exc)}
+        except (ValueError, TypeError) as exc:
+            return {"type": "error", "code": "bad-request",
+                    "error": str(exc)}
+        conn.buffers[job_id] = buffer
+        gate.add(buffer)
+        return {"type": "accepted", "job_id": job_id,
+                "credits": self._credits(conn.tenant)}
+
+    def _on_batch(self, conn: _Connection,
+                  message: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = message.get("job_id")
+        buffer = conn.buffers.get(job_id)
+        if buffer is None or buffer.closed:
+            return {"type": "error", "code": "unknown-job",
+                    "error": f"no open stream for job {job_id!r}"}
+        batch = protocol.decode_batch(message)
+        gate = self._gate(conn.tenant)
+        # Check-then-put under the gate lock: a tenant streaming over
+        # several connections must not race two puts past the mark.
+        with gate.cond:
+            over = (self.high_water is not None
+                    and gate.depth() >= self.high_water)
+            if not over:
+                buffer.put(batch)
+            depth = gate.depth()
+        if over:
+            # The client out-ran its credits: shed, never buffer.  The
+            # batch is gone — the client decides whether to retry after
+            # a credit wait or to accept the loss.
+            self.metrics.record_gateway(shed=1)
+            self.metrics.sample_ingest_depth(depth)
+            return {"type": "busy", "job_id": job_id, "credits": 0}
+        self.metrics.record_gateway(batches=1, tuples=len(batch))
+        self.metrics.sample_ingest_depth(depth)
+        return {"type": "ack", "job_id": job_id,
+                "credits": self._credits(conn.tenant)}
+
+    def _on_end(self, conn: _Connection,
+                message: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = message.get("job_id")
+        buffer = conn.buffers.pop(job_id, None)
+        if buffer is None:
+            return {"type": "error", "code": "unknown-job",
+                    "error": f"no open stream for job {job_id!r}"}
+        buffer.close()
+        return {"type": "ack", "job_id": job_id}
+
+    def _on_credit(self, conn: _Connection,
+                   message: Dict[str, Any]) -> Dict[str, Any]:
+        if self.high_water is None:
+            return {"type": "credit",
+                    "credits": protocol.UNLIMITED_CREDITS}
+        gate = self._gate(conn.tenant)
+        stalled = False
+        with gate.cond:
+            while gate.depth() >= self.high_water \
+                    and not self._stop.is_set():
+                if not stalled:
+                    stalled = True
+                    self.metrics.record_gateway(stalls=1)
+                gate.cond.wait(timeout=POLL_INTERVAL * 10)
+        return {"type": "credit", "credits": self._credits(conn.tenant)}
+
+    def _on_poll(self, conn: _Connection,
+                 message: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            status = self.service.poll(message.get("job_id", ""))
+        except KeyError as exc:
+            return {"type": "error", "code": "unknown-job",
+                    "error": str(exc.args[0])}
+        return {"type": "status", **status}
+
+    def _on_result(self, conn: _Connection,
+                   message: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = message.get("job_id", "")
+        timeout = float(message.get("timeout") or self.result_timeout)
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                status = self.service.poll(job_id)
+            except KeyError as exc:
+                return {"type": "error", "code": "unknown-job",
+                        "error": str(exc.args[0])}
+            if status["status"] == "completed":
+                result = self.service.result(job_id)
+                return {
+                    "type": "result",
+                    "job_id": job_id,
+                    "app": result.app,
+                    "tenant": result.tenant_id,
+                    "result": protocol.to_wire(result.result),
+                    "tuples": result.tuples,
+                    "cycles": result.cycles,
+                    "segments": result.segments,
+                    "late_tuples": result.late_tuples,
+                    "queue_delay": result.queue_delay,
+                }
+            if status["status"] in ("failed", "cancelled"):
+                return {"type": "error", "code": status["status"],
+                        "job_id": job_id,
+                        "error": status["error"] or status["status"]}
+            if self._dispatch_error is not None:
+                # The dispatcher thread died: no job will ever finish.
+                # Refuse instead of letting the client time out blind.
+                return {"type": "error", "code": "dispatcher-error",
+                        "job_id": job_id,
+                        "error": f"dispatcher died: "
+                                 f"{self._dispatch_error}"}
+            if self._stop.is_set() or time.monotonic() >= deadline:
+                return {"type": "error", "code": "timeout",
+                        "job_id": job_id,
+                        "error": f"job {job_id} still "
+                                 f"{status['status']} after {timeout}s"}
+            time.sleep(POLL_INTERVAL)
+
+    def _on_cancel(self, conn: _Connection,
+                   message: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = message.get("job_id", "")
+        try:
+            cancelled = self.service.cancel(job_id)
+        except KeyError:
+            cancelled = False
+        if cancelled:
+            buffer = conn.buffers.pop(job_id, None)
+            if buffer is not None:
+                buffer.close()
+        return {"type": "ack", "job_id": job_id, "cancelled": cancelled}
+
+    # ------------------------------------------------------------------
+    # Credit accounting
+    # ------------------------------------------------------------------
+    def _gate(self, tenant_id: str) -> _TenantGate:
+        with self._gates_lock:
+            gate = self._gates.get(tenant_id)
+            if gate is None:
+                gate = _TenantGate()
+                self._gates[tenant_id] = gate
+            return gate
+
+    def _credits(self, tenant_id: str) -> int:
+        """Batches the tenant may still send before stalling."""
+        if self.high_water is None:
+            return protocol.UNLIMITED_CREDITS
+        return max(0, self.high_water - self._gate(tenant_id).depth())

@@ -1,0 +1,166 @@
+"""Wire protocol of the network ingestion front-end.
+
+The gateway speaks newline-delimited JSON: every message is one JSON
+object on one line, terminated by ``\\n``.  The framing is deliberately
+boring — it is inspectable with ``nc``, diffable in test failures, and
+exact: Python's JSON encoder round-trips 64-bit integers losslessly and
+emits shortest-round-trip floats, so a :class:`TimestampedBatch` sent
+over the wire reconstructs *bit-identically* on the server (the
+acceptance bar for the serving results).
+
+Client -> server messages (``type`` field):
+
+``hello``
+    ``{tenant, token?}`` — authenticate the connection as one tenant.
+    Reply: ``welcome {credits, high_water, protocol}`` or ``error``.
+``submit``
+    ``{app, job_id?, priority?, deadline?, window_seconds?, params?}`` —
+    open a streaming job.  Reply: ``accepted {job_id, credits}``, or
+    ``error`` (``code="quota"`` for admission-control rejections).
+``batch``
+    ``{job_id, keys, values, timestamps}`` — one timestamped batch;
+    consumes one write credit.  Reply: ``ack {credits}`` when buffered,
+    ``busy {credits}`` when shed (tenant over its high-water mark).
+``end``
+    ``{job_id}`` — close the job's stream; the buffered batches drain
+    into the fleet.  Reply: ``ack``.
+``credit``
+    ``{}`` — block until the tenant is below the high-water mark again;
+    the well-behaved client's stall point.  Reply: ``credit {credits}``.
+``poll``
+    ``{job_id}`` — job status snapshot.  Reply: ``status {...}``.
+``result``
+    ``{job_id, timeout?}`` — block until the job completes.  Reply:
+    ``result {...}`` or ``error``.
+``cancel``
+    ``{job_id}`` — withdraw a queued job.  Reply: ``ack {cancelled}``.
+``bye``
+    close the connection cleanly.  Reply: ``ack``.
+
+``credits`` is the number of batches the tenant may still send before
+stalling; ``-1`` means unlimited (backpressure disabled).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.workloads.streams import TimestampedBatch
+from repro.workloads.tuples import TupleBatch
+
+#: Protocol revision carried in the ``welcome`` reply.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one wire line; a line beyond this is a protocol error
+#: (guards the gateway against unbounded memory from one client).
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+#: Credit value meaning "unlimited" (backpressure disabled).
+UNLIMITED_CREDITS = -1
+
+
+class ProtocolError(ValueError):
+    """A malformed, oversized, or out-of-order wire message."""
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One message as a newline-terminated JSON line."""
+    return json.dumps(
+        message, separators=(",", ":"), allow_nan=False).encode("utf-8") \
+        + b"\n"
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a message dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"line of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte limit")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON: {exc}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("every message must be an object with a 'type'")
+    return message
+
+
+# ----------------------------------------------------------------------
+# Batch payloads
+# ----------------------------------------------------------------------
+def batch_payload(batch: TimestampedBatch) -> Dict[str, Any]:
+    """A :class:`TimestampedBatch` as JSON-ready message fields.
+
+    Keys are uint64, values int64, timestamps float64; Python's JSON
+    integers are arbitrary-precision and its floats round-trip exactly,
+    so :func:`decode_batch` reconstructs the identical arrays.
+    """
+    return {
+        "keys": batch.batch.keys.tolist(),
+        "values": batch.batch.values.tolist(),
+        "timestamps": batch.timestamps.tolist(),
+    }
+
+
+def decode_batch(message: Dict[str, Any]) -> TimestampedBatch:
+    """Rebuild the :class:`TimestampedBatch` from ``batch`` fields."""
+    try:
+        keys = np.asarray(message["keys"], dtype=np.uint64)
+        values = np.asarray(message["values"], dtype=np.int64)
+        timestamps = np.asarray(message["timestamps"], dtype=np.float64)
+    except (KeyError, TypeError, OverflowError, ValueError) as exc:
+        raise ProtocolError(f"bad batch payload: {exc}") from None
+    if keys.ndim != 1 or keys.shape != values.shape \
+            or keys.shape != timestamps.shape:
+        raise ProtocolError(
+            "batch keys/values/timestamps must be 1-D and equally long")
+    return TimestampedBatch(timestamps, TupleBatch(keys, values))
+
+
+# ----------------------------------------------------------------------
+# Result payloads
+# ----------------------------------------------------------------------
+def to_wire(obj: Any) -> Any:
+    """Application results as tagged JSON (ndarrays, typed dict keys).
+
+    Results differ per application (histogram arrays, partition dicts,
+    heavy-hitter count maps...); the tagging keeps numpy dtypes and
+    non-string dict keys intact so the client reconstructs exactly what
+    an in-process :meth:`StreamService.result` call would return.
+    """
+    if isinstance(obj, np.ndarray):
+        return {"__kind__": "ndarray", "dtype": str(obj.dtype),
+                "data": obj.tolist()}
+    if isinstance(obj, np.generic):
+        return {"__kind__": "scalar", "dtype": str(obj.dtype),
+                "value": obj.item()}
+    if isinstance(obj, dict):
+        return {"__kind__": "dict",
+                "items": [[to_wire(k), to_wire(v)]
+                          for k, v in obj.items()]}
+    if isinstance(obj, tuple):
+        return {"__kind__": "tuple", "items": [to_wire(x) for x in obj]}
+    if isinstance(obj, list):
+        return [to_wire(x) for x in obj]
+    return obj
+
+
+def from_wire(obj: Any) -> Any:
+    """Inverse of :func:`to_wire`."""
+    if isinstance(obj, list):
+        return [from_wire(x) for x in obj]
+    if isinstance(obj, dict):
+        kind = obj.get("__kind__")
+        if kind == "ndarray":
+            return np.asarray(obj["data"], dtype=np.dtype(obj["dtype"]))
+        if kind == "scalar":
+            return np.dtype(obj["dtype"]).type(obj["value"])
+        if kind == "dict":
+            return {from_wire(k): from_wire(v) for k, v in obj["items"]}
+        if kind == "tuple":
+            return tuple(from_wire(x) for x in obj["items"])
+        return {k: from_wire(v) for k, v in obj.items()}
+    return obj

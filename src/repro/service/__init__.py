@@ -50,7 +50,12 @@ from repro.service.jobs import (
     TenantSpec,
     kernel_for,
 )
-from repro.service.metrics import ServiceMetrics, TenantStats, WorkerStats
+from repro.service.metrics import (
+    GatewayStats,
+    ServiceMetrics,
+    TenantStats,
+    WorkerStats,
+)
 from repro.service.pool import WorkItem, WorkerPool
 from repro.service.queue import JobQueue
 from repro.service.server import StreamService
@@ -61,6 +66,7 @@ __all__ = [
     "SERVED_APPS",
     "EventWindow",
     "FleetBalancer",
+    "GatewayStats",
     "Job",
     "JobQueue",
     "JobResult",

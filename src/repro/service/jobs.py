@@ -237,6 +237,10 @@ class Job:
     #: deterministic queue-delay measurement behind the per-tenant SLO.
     submit_clock: int = 0
     queue_delay: int = 0
+    #: Dispatch-clock reading when the job reached a terminal state;
+    #: the retention policy's TTL (:meth:`StreamService.purge`) ages
+    #: terminal jobs against this.
+    finish_clock: int = 0
 
     def __post_init__(self) -> None:
         if self.app not in SERVED_APPS:

@@ -31,6 +31,9 @@ PLAN_AGE_WINDOW = 256
 #: Retained per-tenant queue-delay samples (dispatch-clock tuples).
 QUEUE_DELAY_WINDOW = 1024
 
+#: Retained gateway ingest-buffer depth samples (one per batch event).
+INGEST_DEPTH_WINDOW = 1024
+
 
 def _percentile(samples: List[int], q: float) -> float:
     """q-th percentile of a sample list (0.0 when empty)."""
@@ -92,6 +95,32 @@ class TenantStats:
 
 
 @dataclass
+class GatewayStats:
+    """Counters of the network ingestion front-end (:mod:`repro.net`).
+
+    ``batches_shed`` counts batches dropped with a ``busy`` reply
+    because the owning tenant was over its high-water mark;
+    ``credit_stalls`` counts the times a well-behaved client blocked on
+    a ``credit`` request instead.  ``ingest_depth_samples`` is a ring
+    buffer of per-tenant buffered-batch depths, sampled at every batch
+    arrival — its p95 is the bounded-memory claim the backpressure
+    benchmark checks.
+    """
+
+    connections_opened: int = 0
+    connections_closed: int = 0
+    bytes_received: int = 0
+    bytes_sent: int = 0
+    batches_ingested: int = 0
+    tuples_ingested: int = 0
+    batches_shed: int = 0
+    credit_stalls: int = 0
+    protocol_errors: int = 0
+    ingest_depth_samples: Deque[int] = field(
+        default_factory=lambda: deque(maxlen=INGEST_DEPTH_WINDOW))
+
+
+@dataclass
 class ServiceMetrics:
     """Thread-safe counters for one :class:`~repro.service.server.StreamService`."""
 
@@ -107,6 +136,8 @@ class ServiceMetrics:
     rebalances: int = 0
     queue_depth_samples: Deque[int] = field(
         default_factory=lambda: deque(maxlen=QUEUE_DEPTH_WINDOW))
+    # --- network front-end (repro.net) ---
+    gateway: GatewayStats = field(default_factory=GatewayStats)
     # --- control plane (repro.control) ---
     drift_events: int = 0
     replans_applied: int = 0
@@ -211,6 +242,37 @@ class ServiceMetrics:
     def sample_queue_depth(self, depth: int) -> None:
         with self._lock:
             self.queue_depth_samples.append(depth)
+
+    def record_gateway(
+        self,
+        *,
+        connections: int = 0,
+        disconnects: int = 0,
+        bytes_in: int = 0,
+        bytes_out: int = 0,
+        batches: int = 0,
+        tuples: int = 0,
+        shed: int = 0,
+        stalls: int = 0,
+        errors: int = 0,
+    ) -> None:
+        """Fold one gateway event into the front-end counters."""
+        with self._lock:
+            stats = self.gateway
+            stats.connections_opened += connections
+            stats.connections_closed += disconnects
+            stats.bytes_received += bytes_in
+            stats.bytes_sent += bytes_out
+            stats.batches_ingested += batches
+            stats.tuples_ingested += tuples
+            stats.batches_shed += shed
+            stats.credit_stalls += stalls
+            stats.protocol_errors += errors
+
+    def sample_ingest_depth(self, depth: int) -> None:
+        """One per-tenant buffered-batch depth reading (ring buffer)."""
+        with self._lock:
+            self.gateway.ingest_depth_samples.append(depth)
 
     def record_control(
         self,
@@ -336,6 +398,7 @@ class ServiceMetrics:
                     "peak": max(depths, default=0),
                     "samples": len(depths),
                 },
+                "gateway": self._gateway_snapshot(),
                 "control": {
                     "drift_events": self.drift_events,
                     "replans_applied": self.replans_applied,
@@ -354,6 +417,28 @@ class ServiceMetrics:
                 },
             }
         return snap
+
+    def _gateway_snapshot(self) -> Dict[str, Any]:
+        """Gateway section of :meth:`snapshot` (caller holds the lock)."""
+        stats = self.gateway
+        depths = list(stats.ingest_depth_samples)
+        return {
+            "connections_opened": stats.connections_opened,
+            "connections_closed": stats.connections_closed,
+            "bytes_received": stats.bytes_received,
+            "bytes_sent": stats.bytes_sent,
+            "batches_ingested": stats.batches_ingested,
+            "tuples_ingested": stats.tuples_ingested,
+            "batches_shed": stats.batches_shed,
+            "credit_stalls": stats.credit_stalls,
+            "protocol_errors": stats.protocol_errors,
+            "ingest_depth": {
+                "p50": _percentile(depths, 50),
+                "p95": _percentile(depths, 95),
+                "peak": max(depths, default=0),
+                "samples": len(depths),
+            },
+        }
 
     @staticmethod
     def _tenant_snapshot(stats: TenantStats) -> Dict[str, Any]:
@@ -437,6 +522,20 @@ class ServiceMetrics:
                 f"queue depth      : p50 {_percentile(depths, 50):.0f}, "
                 f"p95 {_percentile(depths, 95):.0f}, "
                 f"peak {max(depths)}, last {depths[-1]}")
+        if self.gateway.connections_opened:
+            stats = self.gateway
+            depths = list(stats.ingest_depth_samples)
+            lines.append(
+                f"gateway          : {stats.connections_opened} conns "
+                f"({stats.connections_closed} closed), "
+                f"{stats.batches_ingested} batches "
+                f"({stats.tuples_ingested:,} tuples) in, "
+                f"{stats.batches_shed} shed, "
+                f"{stats.credit_stalls} credit stalls, "
+                f"ingest depth p95 {_percentile(depths, 95):.0f} "
+                f"(peak {max(depths, default=0)}), "
+                f"{stats.bytes_received:,} B in / "
+                f"{stats.bytes_sent:,} B out")
         if (self.drift_events or self.replans_applied
                 or self.replans_suppressed or self.scale_up_events
                 or self.scale_down_events):

@@ -30,6 +30,8 @@ shares, admission quotas, and queue-delay SLO tracking.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
@@ -122,6 +124,14 @@ class StreamService:
         ``"fair"`` (default) runs weighted-fair queueing across tenants;
         ``"strict"`` restores the legacy global strict-priority order
         (kept as the starvation baseline for benchmarks).
+    retained_jobs:
+        Bounded retention of *terminal* (completed / failed / cancelled)
+        jobs: once more than this many are held, the oldest are dropped
+        — their results become unavailable to ``poll``/``result``.  The
+        default None keeps every job forever (the historical in-process
+        behaviour); long-lived front-ends (the network gateway) must
+        set a bound or call :meth:`purge`, or ``_jobs`` grows without
+        limit.  Queued and running jobs are never evicted.
     """
 
     def __init__(
@@ -137,6 +147,7 @@ class StreamService:
         control: Optional[ControlPolicy] = None,
         reschedule_cost_cycles: Optional[int] = None,
         scheduler: str = "fair",
+        retained_jobs: Optional[int] = None,
     ) -> None:
         self.config = config or ArchitectureConfig(
             lanes=8, pripes=16, secpes=0, reschedule_threshold=0.0)
@@ -160,9 +171,17 @@ class StreamService:
         self._tenants: Dict[str, TenantSpec] = {
             DEFAULT_TENANT: DEFAULT_TENANT_SPEC,
         }
+        if retained_jobs is not None and retained_jobs < 1:
+            raise ValueError("retained_jobs must be at least 1 (or None)")
+        self.retained_jobs = retained_jobs
         self._step_credit: Dict[str, float] = {}
         self._step_rotation: Dict[str, int] = {}
+        # The job registry is shared with ingest threads (the network
+        # gateway submits/polls from connection threads while the
+        # dispatcher runs), so every access goes through _jobs_lock.
         self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.RLock()
+        self._terminal: "OrderedDict[str, None]" = OrderedDict()
         self._pool = WorkerPool(workers, self._make_session, self.metrics)
         self._controller: Optional[AdaptiveController] = None
         if adaptive:
@@ -234,8 +253,12 @@ class StreamService:
     ) -> str:
         """Admit a stream job; returns its job ID.
 
-        Raises :class:`~repro.service.jobs.QuotaExceededError` when the
-        tenant's ``max_queued`` admission quota is full.
+        Thread-safe: ingest threads (the network gateway's connection
+        handlers) may submit while the dispatcher serves.  Raises
+        :class:`~repro.service.jobs.QuotaExceededError` when the
+        tenant's ``max_queued`` admission quota is full, and
+        ``ValueError`` for a job id that is still pending or running
+        (a *terminal* id may be reused — the resubmit contract).
         """
         tenant_id = tenant_id or DEFAULT_TENANT
         job = Job(
@@ -252,13 +275,22 @@ class StreamService:
         # worker thread: a bad job must fail fast for the client.
         kernel_for(job.app, self.config.pripes, job.params)
         job.submit_clock = self.metrics.dispatch_clock()
-        self._jobs[job.job_id] = job
+        with self._jobs_lock:
+            existing = self._jobs.get(job.job_id)
+            if existing is not None and existing.status in (
+                    JobStatus.PENDING, JobStatus.RUNNING):
+                raise ValueError(
+                    f"duplicate job id {job.job_id!r} "
+                    f"(still {existing.status.value})")
+            self._jobs[job.job_id] = job
+            self._terminal.pop(job.job_id, None)
         try:
             # The queue enforces the tenant's max_queued quota under its
             # own lock (atomic against concurrent ingest threads).
             self._queue.submit(job)
         except QuotaExceededError:
-            del self._jobs[job.job_id]
+            with self._jobs_lock:
+                self._jobs.pop(job.job_id, None)
             self.metrics.record_rejected(tenant_id)
             raise
         self.metrics.record_submit(tenant_id)
@@ -268,7 +300,9 @@ class StreamService:
         """Withdraw a still-queued job."""
         cancelled = self._queue.cancel(job_id)
         if cancelled:
-            self.metrics.record_cancelled(self._job(job_id).tenant_id)
+            job = self._job(job_id)
+            self.metrics.record_cancelled(job.tenant_id)
+            self._retire(job)
         return cancelled
 
     def poll(self, job_id: str) -> Dict[str, Any]:
@@ -384,14 +418,23 @@ class StreamService:
             # its in-flight jobs instead of pinning the first.
             rotation = self._step_rotation.get(tenant_id, 0)
             while steps > 0 and entries:
-                entry = entries[rotation % len(entries)]
+                # Normalize before indexing: a stale pointer beyond the
+                # current list (earlier wrap, earlier removal) must map
+                # onto the job the round-robin actually owes a step.
+                rotation %= len(entries)
+                entry = entries[rotation]
                 steps -= 1
                 if self._step_job(entry):
                     finished.append(entry)
-                    entries.remove(entry)
+                    # Removing by index slides the successor into this
+                    # slot; the pointer stays put so that successor is
+                    # served next instead of being skipped (and the
+                    # predecessor is not double-stepped).
+                    entries.pop(rotation)
                 else:
                     rotation += 1
-            self._step_rotation[tenant_id] = rotation
+            self._step_rotation[tenant_id] = \
+                rotation % len(entries) if entries else 0
         return finished
 
     def shutdown(self) -> None:
@@ -402,10 +445,55 @@ class StreamService:
     # Dispatcher internals
     # ------------------------------------------------------------------
     def _job(self, job_id: str) -> Job:
-        job = self._jobs.get(job_id)
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
         if job is None:
             raise KeyError(f"unknown job {job_id!r}")
         return job
+
+    def _retire(self, job: Job) -> None:
+        """Register a terminal job and enforce the retention bound."""
+        job.finish_clock = self.metrics.dispatch_clock()
+        with self._jobs_lock:
+            self._terminal[job.job_id] = None
+            self._terminal.move_to_end(job.job_id)
+            if self.retained_jobs is not None:
+                while len(self._terminal) > self.retained_jobs:
+                    stale, _ = self._terminal.popitem(last=False)
+                    self._jobs.pop(stale, None)
+
+    def purge(self, older_than: Optional[int] = None,
+              keep: int = 0) -> int:
+        """Explicitly drop terminal jobs; returns how many were dropped.
+
+        ``older_than`` is a TTL in dispatch-clock tuples (the service's
+        deterministic clock): only jobs that finished at least that many
+        dispatched tuples ago are dropped.  ``keep`` always preserves
+        the newest ``keep`` terminal jobs.  Queued and running jobs are
+        never touched.
+        """
+        if older_than is not None and older_than < 0:
+            raise ValueError("older_than must be non-negative")
+        if keep < 0:
+            raise ValueError("keep must be non-negative")
+        now = self.metrics.dispatch_clock()
+        purged = 0
+        with self._jobs_lock:
+            terminal_ids = list(self._terminal)
+            protected = set(
+                terminal_ids[max(0, len(terminal_ids) - keep):]
+                if keep else ())
+            for job_id in terminal_ids:
+                if job_id in protected:
+                    continue
+                job = self._jobs.get(job_id)
+                if older_than is not None and job is not None \
+                        and now - job.finish_clock < older_than:
+                    continue
+                del self._terminal[job_id]
+                self._jobs.pop(job_id, None)
+                purged += 1
+        return purged
 
     def _make_session(self, job_id: str) -> StreamingSession:
         job = self._job(job_id)
@@ -487,12 +575,24 @@ class StreamService:
             job.history = merged.history
         job.status = JobStatus.COMPLETED
         self.metrics.record_completed(job.tenant_id)
-        self.metrics.rebalances = self.balancer.rebalances
+        self._job_left_fleet(job)
 
     def _fail(self, job: Job, message: str) -> None:
         job.status = JobStatus.FAILED
         job.error = message
         self.metrics.record_failed(job.tenant_id)
+        self._job_left_fleet(job)
+
+    def _job_left_fleet(self, job: Job) -> None:
+        """Common exit bookkeeping for completed AND failed jobs.
+
+        The balancer's rebalance counter is pulled, not pushed, so it
+        must sync on every exit path — a job that fails after
+        triggering replans would otherwise leave ``metrics.rebalances``
+        stale until the next success.
+        """
+        self.metrics.rebalances = self.balancer.rebalances
+        self._retire(job)
 
     def _dispatch(self, job: Job, closed_windows,
                   by_key: bool = False) -> None:

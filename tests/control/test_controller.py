@@ -36,6 +36,29 @@ def hot_keys(seed, tuples=2_000):
     return ZipfGenerator(alpha=2.5, seed=seed).generate(tuples).keys
 
 
+class TestPlanCacheNamespaces:
+    def test_plans_cache_under_the_tenant_namespace(self):
+        controller, balancer, _ = make_controller()
+        controller.on_window(hot_keys(1), WINDOW_TUPLES,
+                             tenant_id="alice")
+        hist = balancer.last_histogram
+        assert controller._cache_namespace() == "alice"
+        assert controller.cache.lookup(hist,
+                                       namespace="alice") is not None
+        # The same signature under another tenant is a different key:
+        # bob can no longer evict (or poach) alice's plan.
+        assert controller.cache.lookup(hist, namespace="bob") is None
+
+    def test_mixture_namespace_joins_in_flight_tenants(self):
+        controller, _, _ = make_controller()
+        controller.on_window(hot_keys(1), WINDOW_TUPLES, tenant_id="bob")
+        controller.on_window(hot_keys(1), WINDOW_TUPLES,
+                             tenant_id="alice")
+        assert controller._cache_namespace() == "alice+bob"
+        controller.forget_tenant("bob")
+        assert controller._cache_namespace() == "alice"
+
+
 class TestControlLoop:
     def test_first_window_plans_without_stall(self):
         controller, balancer, metrics = make_controller()

@@ -102,3 +102,52 @@ class TestPlanCache:
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             PlanCache(capacity=0)
+
+
+class TestNamespaces:
+    """Tenant-scoped keys: clashing signatures no longer collide."""
+
+    def test_same_signature_different_namespace_misses(self):
+        cache = PlanCache(capacity=8)
+        hist = np.array([900, 50, 50])
+        cache.store(hist, plan_for(hist), namespace="alice")
+        assert cache.lookup(hist, namespace="bob") is None
+        assert cache.lookup(hist, namespace=None) is None
+        assert cache.lookup(hist, namespace="alice") is not None
+
+    def test_tenants_with_clashing_distributions_both_hit(self):
+        """The ROADMAP bug in miniature: two tenants alternate
+        recurring distributions whose signatures collide.  Unscoped,
+        each alternation overwrote the other's entry; namespaced, both
+        converge to hits."""
+        cache = PlanCache(capacity=8)
+        hist = np.array([800, 100, 100])
+        plan_a, plan_b = plan_for(hist), plan_for(hist * 2)
+        cache.store(hist, plan_a, namespace="alice")
+        cache.store(hist, plan_b, namespace="bob")
+        assert cache.lookup(hist, namespace="alice") is plan_a
+        assert cache.lookup(hist, namespace="bob") is plan_b
+        assert len(cache) == 2
+
+    def test_get_or_build_respects_namespace(self):
+        cache = PlanCache(capacity=8)
+        hist = np.array([100, 800, 100])
+        plan, hit = cache.get_or_build(
+            hist, lambda: plan_for(hist), namespace="alice")
+        assert not hit
+        rebuilt, hit = cache.get_or_build(
+            hist, lambda: plan_for(hist), namespace="bob")
+        assert not hit  # bob's key space, not alice's
+        assert rebuilt is not plan
+        again, hit = cache.get_or_build(
+            hist, lambda: pytest.fail("hit expected"), namespace="alice")
+        assert hit and again is plan
+
+    def test_lru_budget_is_shared_across_namespaces(self):
+        cache = PlanCache(capacity=2)
+        hist = np.array([10, 1, 1])
+        cache.store(hist, plan_for(hist), namespace="a")
+        cache.store(hist, plan_for(hist), namespace="b")
+        cache.store(hist, plan_for(hist), namespace="c")
+        assert len(cache) == 2
+        assert cache.lookup(hist, namespace="a") is None  # oldest out

@@ -1,0 +1,100 @@
+"""IngestBuffer: FIFO order, close/abort semantics, blocking consume."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.net import IngestBuffer
+from repro.workloads.streams import timestamp_batch
+from repro.workloads.tuples import TupleBatch
+
+
+def batch_of(*keys):
+    return timestamp_batch(TupleBatch.from_keys(
+        np.asarray(keys, dtype=np.uint64)))
+
+
+class TestIngestBuffer:
+    def test_fifo_order_and_close_ends_iteration(self):
+        buffer = IngestBuffer()
+        first, second = batch_of(1, 2), batch_of(3)
+        buffer.put(first)
+        buffer.put(second)
+        buffer.close()
+        drained = list(buffer)
+        assert [d.batch.keys.tolist() for d in drained] == [[1, 2], [3]]
+
+    def test_put_after_close_raises(self):
+        buffer = IngestBuffer()
+        buffer.close()
+        with pytest.raises(RuntimeError):
+            buffer.put(batch_of(1))
+
+    def test_abort_poisons_consumer_even_with_items_buffered(self):
+        buffer = IngestBuffer()
+        buffer.put(batch_of(1))
+        buffer.abort("connection lost")
+        with pytest.raises(RuntimeError, match="connection lost"):
+            next(iter(buffer))
+
+    def test_consumer_blocks_until_producer_puts(self):
+        buffer = IngestBuffer()
+        got = []
+
+        def consume():
+            got.append(next(iter(buffer)))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        thread.join(timeout=0.05)
+        assert thread.is_alive()  # blocked, nothing buffered yet
+        buffer.put(batch_of(9))
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert got[0].batch.keys.tolist() == [9]
+
+    def test_depth_and_counters(self):
+        buffer = IngestBuffer()
+        buffer.put(batch_of(1, 2, 3))
+        buffer.put(batch_of(4))
+        assert buffer.depth() == 2
+        assert buffer.depth_peak == 2
+        assert buffer.batches_in == 2
+        assert buffer.tuples_in == 4
+        next(iter(buffer))
+        assert buffer.depth() == 1
+        assert buffer.depth_peak == 2  # peak is sticky
+
+    def test_on_drain_fires_per_consumed_batch(self):
+        drains = []
+        buffer = IngestBuffer(on_drain=lambda: drains.append(1))
+        buffer.put(batch_of(1))
+        buffer.put(batch_of(2))
+        buffer.close()
+        list(buffer)
+        assert len(drains) == 2
+
+    def test_idle_timeout_poisons_a_silent_stream(self):
+        buffer = IngestBuffer(idle_timeout=0.05)
+        with pytest.raises(RuntimeError, match="idle"):
+            next(iter(buffer))
+
+    def test_idle_timeout_restarts_per_consumed_batch(self):
+        buffer = IngestBuffer(idle_timeout=10.0)
+        buffer.put(batch_of(1))
+        # Data available: returns immediately, no timeout involved.
+        assert next(iter(buffer)).batch.keys.tolist() == [1]
+
+    def test_idle_timeout_validated(self):
+        with pytest.raises(ValueError):
+            IngestBuffer(idle_timeout=0)
+
+    def test_drained_only_after_close_and_empty(self):
+        buffer = IngestBuffer()
+        buffer.put(batch_of(1))
+        assert not buffer.drained()
+        buffer.close()
+        assert not buffer.drained()  # one batch still buffered
+        list(buffer)
+        assert buffer.drained()

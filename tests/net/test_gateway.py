@@ -1,0 +1,410 @@
+"""StreamGateway end to end over real sockets.
+
+Every test runs against a live TCP listener on an ephemeral port.  The
+acceptance bar: results streamed over the wire are *bit-identical* to
+the same seeded workload submitted in-process, backpressure stalls
+well-behaved clients and sheds flooding ones without losing any
+accepted batch, and tenant contracts (auth, admission quotas) hold at
+the socket boundary.
+"""
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.net import GatewayError, StreamClient, StreamGateway, protocol
+from repro.service import StreamService, TenantSpec
+from repro.service.jobs import QuotaExceededError, kernel_for
+from repro.workloads.streams import chunk_stream
+from repro.workloads.zipf import ZipfGenerator
+
+WINDOW = 2.56e-6
+
+
+def zipf_batches(alpha=1.5, tuples=8_000, seed=7, chunk=2_000):
+    return list(chunk_stream(
+        ZipfGenerator(alpha=alpha, seed=seed).generate(tuples), chunk))
+
+
+def golden_histogram(batches):
+    keys = np.concatenate([b.batch.keys for b in batches])
+    values = np.concatenate([b.batch.values for b in batches])
+    return kernel_for("histo", 16).golden(keys, values)
+
+
+def in_process_result(batches, app="histo", workers=2):
+    service = StreamService(workers=workers)
+    job_id = service.submit(app, iter(batches), window_seconds=WINDOW)
+    service.run()
+    result = service.result(job_id)
+    service.shutdown()
+    return result
+
+
+@pytest.fixture
+def fleet():
+    """(service, gateway) pair serving on an ephemeral port."""
+    service = StreamService(workers=2)
+    gateway = StreamGateway(service, high_water=8)
+    gateway.start()
+    yield service, gateway
+    gateway.stop()
+    service.shutdown()
+
+
+class TestRoundTrip:
+    def test_wire_result_bit_identical_to_in_process(self, fleet):
+        service, gateway = fleet
+        batches = zipf_batches()
+        reference = in_process_result(batches)
+        with StreamClient(gateway.host, gateway.port) as client:
+            job_id = client.submit_stream("histo", iter(batches),
+                                          window_seconds=WINDOW)
+            result = client.result(job_id)
+        assert np.array_equal(result.result, reference.result)
+        assert result.tuples == reference.tuples
+        assert result.segments == reference.segments
+
+    def test_poll_reports_completion_and_counters_merge(self, fleet):
+        service, gateway = fleet
+        batches = zipf_batches(tuples=4_000)
+        with StreamClient(gateway.host, gateway.port) as client:
+            job_id = client.submit_stream("histo", iter(batches),
+                                          window_seconds=WINDOW)
+            client.result(job_id)
+            status = client.poll(job_id)
+        assert status["status"] == "completed"
+        snap = service.metrics.snapshot()["gateway"]
+        assert snap["connections_opened"] == 1
+        assert snap["batches_ingested"] == len(batches)
+        assert snap["tuples_ingested"] == 4_000
+        assert snap["bytes_received"] > 0
+        assert snap["bytes_sent"] > 0
+
+    def test_cancel_withdraws_queued_job(self, fleet):
+        service, gateway = fleet
+        with StreamClient(gateway.host, gateway.port) as client:
+            job_id = client.submit("histo", window_seconds=WINDOW)
+            # The job may already have been admitted by the dispatcher
+            # (cancel targets queued jobs only) — accept either verdict,
+            # but the gateway must answer coherently.
+            cancelled = client.cancel(job_id)
+            assert cancelled in (True, False)
+
+
+class TestTenantContracts:
+    def test_quota_rejection_over_the_wire(self):
+        service = StreamService(workers=2)
+        service.register_tenant(TenantSpec("alice", max_queued=1))
+        gateway = StreamGateway(service, high_water=8, serve=False)
+        gateway.start()
+        try:
+            with StreamClient(gateway.host, gateway.port,
+                              tenant="alice") as client:
+                client.submit("histo", window_seconds=WINDOW)
+                with pytest.raises(QuotaExceededError):
+                    client.submit("histo", window_seconds=WINDOW)
+            assert service.metrics.snapshot()["tenants"]["alice"][
+                "jobs"]["rejected"] == 1
+        finally:
+            gateway.stop()
+            service.shutdown()
+
+    def test_token_auth_refuses_bad_credentials(self):
+        service = StreamService(workers=1)
+        gateway = StreamGateway(service, tokens={"alice": "s3cret"},
+                                serve=False)
+        gateway.start()
+        try:
+            with pytest.raises(GatewayError) as excinfo:
+                StreamClient(gateway.host, gateway.port,
+                             tenant="alice", token="wrong")
+            assert excinfo.value.code == "auth"
+            with pytest.raises(GatewayError):
+                StreamClient(gateway.host, gateway.port,
+                             tenant="mallory", token="s3cret")
+            client = StreamClient(gateway.host, gateway.port,
+                                  tenant="alice", token="s3cret")
+            client.close()
+        finally:
+            gateway.stop()
+            service.shutdown()
+
+    def test_submit_before_hello_is_refused(self, fleet):
+        _, gateway = fleet
+        with socket.create_connection((gateway.host, gateway.port),
+                                      timeout=10) as sock:
+            sock.sendall(protocol.encode(
+                {"type": "submit", "app": "histo"}))
+            reply = protocol.decode(sock.makefile("rb").readline())
+        assert reply["type"] == "error"
+        assert reply["code"] == "hello-required"
+
+    def test_malformed_line_counts_protocol_error(self, fleet):
+        service, gateway = fleet
+        with socket.create_connection((gateway.host, gateway.port),
+                                      timeout=10) as sock:
+            sock.sendall(b"this is not json\n")
+            reply = protocol.decode(sock.makefile("rb").readline())
+        assert reply["type"] == "error"
+        assert reply["code"] == "protocol"
+        assert service.metrics.snapshot()["gateway"][
+            "protocol_errors"] == 1
+
+
+class TestBackpressure:
+    def test_well_behaved_client_stalls_and_loses_nothing(self):
+        """With the dispatcher frozen the client runs out of credits
+        and blocks on a credit request; resuming dispatch drains the
+        tenant, the stall releases, and every batch lands."""
+        service = StreamService(workers=2)
+        gateway = StreamGateway(service, high_water=2, serve=False)
+        gateway.start()
+        batches = zipf_batches(tuples=6_000, chunk=1_000)
+        client = StreamClient(gateway.host, gateway.port)
+        finished = {}
+
+        def stream():
+            finished["job"] = client.submit_stream(
+                "histo", iter(batches), window_seconds=WINDOW)
+
+        thread = threading.Thread(target=stream)
+        try:
+            thread.start()
+            thread.join(timeout=0.5)
+            assert thread.is_alive()  # stalled at the high-water mark
+            gateway.start_serving()
+            thread.join(timeout=60.0)
+            assert not thread.is_alive()
+            assert client.credit_stalls >= 1
+            assert client.shed_batches == 0
+            result = client.result(finished["job"])
+            assert np.array_equal(result.result,
+                                  golden_histogram(batches))
+            snap = service.metrics.snapshot()["gateway"]
+            assert snap["credit_stalls"] >= 1
+            assert snap["batches_shed"] == 0
+        finally:
+            client.close()
+            gateway.stop()
+            service.shutdown()
+
+    def test_flooding_client_is_shed_not_buffered(self):
+        """A client ignoring its credits gets busy replies: the ingest
+        depth stays at the high-water mark and the accepted batches
+        still produce an exact result."""
+        high_water = 4
+        service = StreamService(workers=2)
+        gateway = StreamGateway(service, high_water=high_water,
+                                serve=False)
+        gateway.start()
+        batches = zipf_batches(tuples=12_000, chunk=1_000)
+        client = StreamClient(gateway.host, gateway.port)
+        try:
+            job_id = client.submit("histo", window_seconds=WINDOW)
+            accepted = [client.send_batch(job_id, batch, wait=False)
+                        for batch in batches]
+            assert sum(accepted) == high_water
+            assert client.shed_batches == len(batches) - high_water
+            client.end(job_id)
+            gateway.start_serving()
+            result = client.result(job_id)
+            kept = [b for b, ok in zip(batches, accepted) if ok]
+            assert np.array_equal(result.result, golden_histogram(kept))
+            snap = service.metrics.snapshot()["gateway"]
+            assert snap["batches_shed"] == len(batches) - high_water
+            assert snap["ingest_depth"]["peak"] <= high_water
+        finally:
+            client.close()
+            gateway.stop()
+            service.shutdown()
+
+
+class TestRobustness:
+    def test_stale_credit_busy_is_retried_not_lost(self):
+        """A wait=True sender whose cached credit count is stale (e.g.
+        another connection of the tenant raced it) gets a busy reply:
+        the client must stall and *resend*, never drop the batch."""
+        service = StreamService(workers=2)
+        gateway = StreamGateway(service, high_water=2, serve=False)
+        gateway.start()
+        batches = zipf_batches(tuples=3_000, chunk=1_000)
+        client = StreamClient(gateway.host, gateway.port)
+        sent = {}
+        try:
+            job_id = client.submit("histo", window_seconds=WINDOW)
+            assert client.send_batch(job_id, batches[0], wait=False)
+            assert client.send_batch(job_id, batches[1], wait=False)
+            assert client.credits == 0
+            client.credits = 1  # simulate a raced, stale credit count
+
+            def push():
+                sent["ok"] = client.send_batch(job_id, batches[2],
+                                               wait=True)
+
+            thread = threading.Thread(target=push)
+            thread.start()
+            thread.join(timeout=0.3)
+            assert thread.is_alive()  # busy -> stalled, not dropped
+            gateway.start_serving()
+            thread.join(timeout=60.0)
+            assert sent["ok"] is True
+            assert client.shed_batches == 0
+            client.end(job_id)
+            result = client.result(job_id)
+            assert np.array_equal(result.result,
+                                  golden_histogram(batches))
+        finally:
+            client.close()
+            gateway.stop()
+            service.shutdown()
+
+    def test_idle_client_fails_its_job_with_a_bounded_stall(self):
+        """A client that submits and goes silent (no batch, no end,
+        connection up) must not stall the fleet forever: its stream
+        times out, the job fails, and other tenants' jobs complete."""
+        service = StreamService(workers=2)
+        gateway = StreamGateway(service, high_water=8, idle_timeout=0.2)
+        gateway.start()
+        quiet = StreamClient(gateway.host, gateway.port)
+        try:
+            stalled_job = quiet.submit("histo", window_seconds=WINDOW)
+            quiet.send_batch(stalled_job,
+                             zipf_batches(tuples=1_000, chunk=1_000)[0])
+            # ...and now says nothing more.
+            batches = zipf_batches(tuples=4_000)
+            with StreamClient(gateway.host, gateway.port,
+                              tenant="other") as other:
+                job_id = other.submit_stream("histo", iter(batches),
+                                             window_seconds=WINDOW)
+                result = other.result(job_id, timeout=30.0)
+            assert np.array_equal(result.result,
+                                  golden_histogram(batches))
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline \
+                    and service.poll(stalled_job)["status"] != "failed":
+                time.sleep(0.02)
+            status = service.poll(stalled_job)
+            assert status["status"] == "failed"
+            assert "idle" in status["error"]
+        finally:
+            quiet.close()
+            gateway.stop()
+            service.shutdown()
+
+    def test_oversized_line_is_rejected_and_disconnected(self):
+        service = StreamService(workers=1)
+        gateway = StreamGateway(service, serve=False,
+                                max_line_bytes=1024)
+        gateway.start()
+        try:
+            with socket.create_connection((gateway.host, gateway.port),
+                                          timeout=10) as sock:
+                rfile = sock.makefile("rb")
+                sock.sendall(b"x" * 4096 + b"\n")
+                reply = protocol.decode(rfile.readline())
+                assert reply["type"] == "error"
+                assert reply["code"] == "protocol"
+                assert rfile.readline() == b""  # server hung up
+            assert service.metrics.snapshot()["gateway"][
+                "protocol_errors"] == 1
+        finally:
+            gateway.stop()
+            service.shutdown()
+
+    def test_dispatcher_death_is_surfaced_to_clients(self):
+        service = StreamService(workers=1)
+        gateway = StreamGateway(service, serve=False)
+        service.run = lambda *a, **k: (_ for _ in ()).throw(
+            RuntimeError("kaboom"))
+        gateway.start()
+        gateway.start_serving()
+        client = StreamClient(gateway.host, gateway.port)
+        try:
+            deadline = time.monotonic() + 10.0
+            while gateway.dispatch_error is None \
+                    and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert gateway.dispatch_error == "kaboom"
+            job_id = client.submit("histo", window_seconds=WINDOW)
+            client.end(job_id)
+            with pytest.raises(GatewayError) as excinfo:
+                client.result(job_id, timeout=5.0)
+            assert excinfo.value.code == "dispatcher-error"
+        finally:
+            client.close()
+            gateway.stop()
+            service.shutdown()
+
+
+class TestConcurrency:
+    def test_concurrent_clients_merge_deterministically(self):
+        """Three tenants stream different seeded workloads at once;
+        each result is bit-identical to its own in-process run."""
+        workloads = {
+            "alice": zipf_batches(alpha=1.8, tuples=6_000, seed=1),
+            "bob": zipf_batches(alpha=1.2, tuples=6_000, seed=2),
+            "carol": zipf_batches(alpha=0.8, tuples=6_000, seed=3),
+        }
+        references = {tenant: in_process_result(batches)
+                      for tenant, batches in workloads.items()}
+        service = StreamService(workers=2)
+        for tenant in workloads:
+            service.register_tenant(TenantSpec(tenant))
+        gateway = StreamGateway(service, high_water=8)
+        gateway.start()
+        results = {}
+
+        def run_client(tenant):
+            with StreamClient(gateway.host, gateway.port,
+                              tenant=tenant) as client:
+                job_id = client.submit_stream(
+                    "histo", iter(workloads[tenant]),
+                    window_seconds=WINDOW)
+                results[tenant] = client.result(job_id)
+
+        try:
+            threads = [threading.Thread(target=run_client, args=(t,))
+                       for t in workloads]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+            assert not any(t.is_alive() for t in threads)
+            for tenant, reference in references.items():
+                assert np.array_equal(results[tenant].result,
+                                      reference.result), tenant
+                assert results[tenant].tenant_id == tenant
+        finally:
+            gateway.stop()
+            service.shutdown()
+
+    def test_connection_drop_fails_job_instead_of_hanging(self):
+        """A client that vanishes mid-stream must not wedge the
+        dispatcher: its stream aborts and the job fails cleanly."""
+        service = StreamService(workers=2)
+        gateway = StreamGateway(service, high_water=8)
+        gateway.start()
+        try:
+            client = StreamClient(gateway.host, gateway.port)
+            job_id = client.submit("histo", window_seconds=WINDOW)
+            client.send_batch(job_id, zipf_batches(tuples=1_000,
+                                                   chunk=1_000)[0])
+            # Vanish without `end`: shutdown sends the FIN immediately
+            # (a bare close would wait on the makefile's reference).
+            client._sock.shutdown(socket.SHUT_RDWR)
+            client._sock.close()
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                status = service.poll(job_id)
+                if status["status"] == "failed":
+                    break
+                time.sleep(0.02)
+            assert service.poll(job_id)["status"] == "failed"
+            assert "abort" in service.poll(job_id)["error"]
+        finally:
+            gateway.stop()
+            service.shutdown()

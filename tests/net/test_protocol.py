@@ -1,0 +1,110 @@
+"""Wire protocol: framing, exact batch payloads, tagged results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.net import protocol
+from repro.workloads.streams import TimestampedBatch, timestamp_batch
+from repro.workloads.tuples import TupleBatch
+
+
+def make_batch(n=64, seed=3):
+    rng = np.random.default_rng(seed)
+    batch = TupleBatch(
+        keys=rng.integers(0, 2**63, size=n, dtype=np.uint64),
+        values=rng.integers(-2**31, 2**31, size=n, dtype=np.int64),
+    )
+    return timestamp_batch(batch, start=1.5e-6)
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        message = {"type": "hello", "tenant": "alice", "token": None}
+        assert protocol.decode(protocol.encode(message)) == message
+
+    def test_encode_is_one_line(self):
+        line = protocol.encode({"type": "ack", "note": "a\nb"})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"{not json}\n")
+
+    def test_non_object_raises(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"[1, 2]\n")
+
+    def test_missing_type_raises(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b'{"tenant": "x"}\n')
+
+    def test_oversized_line_raises(self):
+        line = b'{"type": "batch", "pad": "' \
+            + b"x" * protocol.MAX_LINE_BYTES + b'"}\n'
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(line)
+
+
+class TestBatchPayload:
+    def test_round_trip_is_bit_identical(self):
+        batch = make_batch()
+        wire = json.loads(json.dumps(protocol.batch_payload(batch)))
+        restored = protocol.decode_batch(wire)
+        assert np.array_equal(restored.batch.keys, batch.batch.keys)
+        assert np.array_equal(restored.batch.values, batch.batch.values)
+        assert np.array_equal(restored.timestamps, batch.timestamps)
+        assert restored.batch.keys.dtype == np.uint64
+        assert restored.batch.values.dtype == np.int64
+        assert restored.timestamps.dtype == np.float64
+
+    def test_uint64_top_bit_survives(self):
+        batch = TimestampedBatch(
+            np.array([0.0]),
+            TupleBatch(np.array([2**64 - 1], dtype=np.uint64),
+                       np.array([-2**63], dtype=np.int64)))
+        wire = json.loads(json.dumps(protocol.batch_payload(batch)))
+        restored = protocol.decode_batch(wire)
+        assert restored.batch.keys[0] == np.uint64(2**64 - 1)
+        assert restored.batch.values[0] == np.int64(-2**63)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_batch(
+                {"keys": [1, 2], "values": [1], "timestamps": [0.0, 0.0]})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_batch({"keys": [1], "values": [1]})
+
+
+class TestResultPayload:
+    def round_trip(self, obj):
+        return protocol.from_wire(
+            json.loads(json.dumps(protocol.to_wire(obj))))
+
+    def test_ndarray_round_trip(self):
+        arr = np.arange(16, dtype=np.int64) * -3
+        back = self.round_trip(arr)
+        assert isinstance(back, np.ndarray)
+        assert back.dtype == np.int64
+        assert np.array_equal(back, arr)
+
+    def test_dict_with_int_keys_round_trip(self):
+        obj = {7: [1, 2, 3], 2**40: [4]}
+        assert self.round_trip(obj) == obj
+
+    def test_numpy_scalar_round_trip(self):
+        back = self.round_trip(np.uint64(2**63 + 5))
+        assert back == np.uint64(2**63 + 5)
+        assert back.dtype == np.uint64
+
+    def test_nested_mixture_round_trip(self):
+        obj = {"counts": np.array([1, 2], dtype=np.uint64),
+               "pairs": (3, "x"), "flat": [1.5, None, True]}
+        back = self.round_trip(obj)
+        assert np.array_equal(back["counts"], obj["counts"])
+        assert back["pairs"] == (3, "x")
+        assert back["flat"] == [1.5, None, True]

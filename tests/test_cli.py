@@ -129,3 +129,37 @@ class TestServeSubmit:
         ])
         assert code == 0
         assert "status=completed" in capsys.readouterr().out
+
+
+class TestNetworkCLI:
+    def test_ingest_serves_submit_connect_round_trip(self, tmp_path,
+                                                     capsys):
+        import threading
+        import time
+
+        ready = tmp_path / "ready"
+        server = threading.Thread(target=main, args=([
+            "ingest", "--serve-jobs", "1", "--workers", "2",
+            "--ready-file", str(ready),
+        ],))
+        server.start()
+        deadline = time.monotonic() + 30.0
+        while not ready.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert ready.exists(), "gateway never came up"
+        host, port = ready.read_text().split()
+        code = main([
+            "submit", "--connect", f"{host}:{port}", "--app", "histo",
+            "--tuples", "4000", "--alpha", "2.0",
+        ])
+        server.join(timeout=60.0)
+        assert code == 0
+        assert not server.is_alive()
+        out = capsys.readouterr().out
+        assert "status=completed" in out
+        assert "over the wire" in out
+        assert "gateway" in out  # ingest printed the fleet report
+
+    def test_connect_rejects_bad_address(self):
+        with pytest.raises(SystemExit):
+            main(["submit", "--connect", "nonsense"])
