@@ -30,13 +30,16 @@ class IngestBuffer:
         Called (outside the buffer lock) after a consumer takes a batch;
         the gateway uses it to wake credit-stalled producers.
     idle_timeout:
-        Seconds a consumer may wait for the *next* batch before the
-        stream is declared dead (raises, failing the job).  The service
-        dispatcher is a single thread pulling every in-flight job's
-        source, so a client that opens a stream and then goes quiet —
-        no batch, no ``end``, connection still up — would stall the
-        whole fleet; the timeout bounds that stall.  None waits forever
-        (in-process sources that are never idle).
+        Seconds an *open* stream may sit with nothing buffered before
+        it is declared dead.  The service dispatcher is a single thread
+        pulling every in-flight job's source, so it never blocks here:
+        it probes :meth:`poll_ready` and skips streams with no batch.
+        A stream that stays empty-and-open past the timeout is aborted
+        by the probe (the next pull raises, failing the job), evicting
+        clients that submit and then go quiet — no batch, no ``end``,
+        connection still up.  None keeps such streams waiting forever.
+        The timeout also bounds a direct blocking :meth:`__next__` for
+        consumers that do not probe first.
     """
 
     def __init__(self, on_drain: Optional[Callable[[], None]] = None,
@@ -49,6 +52,8 @@ class IngestBuffer:
         self._abort_reason: Optional[str] = None
         self._on_drain = on_drain
         self._idle_timeout = idle_timeout
+        self._probed = False
+        self._last_activity = time.monotonic()
         self.batches_in = 0
         self.tuples_in = 0
         self.depth_peak = 0
@@ -62,6 +67,7 @@ class IngestBuffer:
             if self._closed or self._abort_reason is not None:
                 raise RuntimeError("ingest stream is closed")
             self._items.append(batch)
+            self._last_activity = time.monotonic()
             self.batches_in += 1
             self.tuples_in += len(batch)
             self.depth_peak = max(self.depth_peak, len(self._items))
@@ -77,10 +83,17 @@ class IngestBuffer:
     def abort(self, reason: str) -> None:
         """Poison the stream (connection lost, gateway stopping): the
         consumer raises immediately, failing the job deterministically
-        instead of serving a silently truncated stream."""
+        instead of serving a silently truncated stream.
+
+        Undelivered batches are dropped: the job fails either way, and
+        keeping them would pin the tenant's credit accounting (the
+        gateway counts buffered depth against the high-water mark) on a
+        stream that can never drain.
+        """
         with self._cond:
             if self._abort_reason is None:
                 self._abort_reason = reason
+            self._items.clear()
             self._cond.notify_all()
 
     # ------------------------------------------------------------------
@@ -99,6 +112,9 @@ class IngestBuffer:
                         f"ingest stream aborted: {self._abort_reason}")
                 if self._items:
                     item = self._items.popleft()
+                    # The idle clock measures how long the *next* batch
+                    # has been owed; it restarts at every consumption.
+                    self._last_activity = time.monotonic()
                     break
                 if self._closed:
                     raise StopIteration
@@ -115,6 +131,40 @@ class IngestBuffer:
         if self._on_drain is not None:
             self._on_drain()
         return item
+
+    def poll_ready(self) -> bool:
+        """Non-blocking readiness probe for the service dispatcher.
+
+        True when :meth:`__next__` would return (or raise) without
+        blocking: a batch is buffered, the stream ended, or it was
+        aborted.  An empty, still-open stream is not ready — the
+        dispatcher skips it and serves whoever has data — unless it
+        has sat idle past ``idle_timeout``, in which case the stream
+        is aborted here (the probe reports ready and the next pull
+        fails the job through the normal source-error path).
+        """
+        with self._cond:
+            if self._items or self._closed \
+                    or self._abort_reason is not None:
+                return True
+            if not self._probed:
+                # The idle clock measures how long the *consumer* has
+                # been kept waiting, so it starts at the first probe
+                # (job activation), not at construction: a job that
+                # sat queued longer than idle_timeout must not be
+                # evicted before its client could stream anything.
+                self._probed = True
+                self._last_activity = time.monotonic()
+                return False
+            if self._idle_timeout is not None and (
+                    time.monotonic() - self._last_activity
+                    >= self._idle_timeout):
+                self._abort_reason = (
+                    f"idle for {self._idle_timeout:g}s (client "
+                    f"stopped streaming without `end`)")
+                self._cond.notify_all()
+                return True
+            return False
 
     # ------------------------------------------------------------------
     # Introspection

@@ -33,6 +33,11 @@ from repro.service.jobs import (
 )
 from repro.workloads.streams import TimestampedBatch
 
+#: Extra seconds of socket deadline granted to a ``result`` request
+#: beyond the server-side wait, so the gateway's graceful reply
+#: (result / timeout / error) wins the race against socket.timeout.
+RESULT_TIMEOUT_MARGIN = 5.0
+
 
 class GatewayError(RuntimeError):
     """The gateway refused a request (carries the wire error code)."""
@@ -67,6 +72,7 @@ class StreamClient:
         timeout: float = 60.0,
     ) -> None:
         self.tenant = tenant
+        self._timeout = timeout
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout)
         self._rfile = self._sock.makefile("rb")
@@ -210,9 +216,24 @@ class StreamClient:
     def result(self, job_id: str,
                timeout: Optional[float] = None) -> JobResult:
         """Block until the job completes; returns its
-        :class:`~repro.service.jobs.JobResult` (arrays restored)."""
-        reply = self._raise_on_error(self._request({
-            "type": "result", "job_id": job_id, "timeout": timeout}))
+        :class:`~repro.service.jobs.JobResult` (arrays restored).
+
+        ``timeout`` bounds the *server-side* wait (the connection's
+        default timeout when omitted); the socket deadline is widened
+        past it for the duration of the call, so a slow job surfaces
+        as the protocol's graceful ``timeout`` error, not a raw
+        ``socket.timeout`` mid-read.
+        """
+        wait = self._timeout if timeout is None else timeout
+        previous = self._sock.gettimeout()
+        if wait is not None:
+            self._sock.settimeout(wait + RESULT_TIMEOUT_MARGIN)
+        try:
+            reply = self._raise_on_error(self._request({
+                "type": "result", "job_id": job_id, "timeout": wait}))
+        finally:
+            if wait is not None:
+                self._sock.settimeout(previous)
         return JobResult(
             job_id=reply["job_id"],
             app=reply["app"],

@@ -103,11 +103,12 @@ class StreamGateway:
     result_timeout:
         Default seconds a ``result`` request may block server-side.
     idle_timeout:
-        Seconds an *open* stream may sit with no buffered batch while
-        the dispatcher waits on it before the job is failed.  The
-        dispatcher is one thread pulling every in-flight source, so a
-        client that submits and then goes quiet would otherwise stall
-        the whole fleet.  None disables the guard.
+        Seconds an *open* stream may sit with no buffered batch before
+        its job is failed.  The dispatcher never blocks on an empty
+        stream — it skips un-ready sources and serves whoever has
+        data — so this is purely an eviction policy for clients that
+        submit and then go quiet (no batch, no ``end``).  None keeps
+        such streams in flight forever.
     max_line_bytes:
         Reject (and disconnect) any wire line longer than this; reads
         are capped at this length, so a client cannot grow gateway
@@ -160,6 +161,10 @@ class StreamGateway:
         dispatching)."""
         if self._listener is not None:
             return
+        # Re-arm after a previous stop(): a stale stop flag would make
+        # the fresh accept/dispatch threads exit immediately, leaving a
+        # gateway that accepts TCP connects but never serves.
+        self._stop.clear()
         self._listener = socket.create_server((self.host, self.port))
         self.host, self.port = self._listener.getsockname()[:2]
         self._accept_thread = threading.Thread(
@@ -367,6 +372,16 @@ class StreamGateway:
 
     def _on_hello(self, conn: _Connection,
                   message: Dict[str, Any]) -> Dict[str, Any]:
+        if conn.tenant is not None:
+            # Rebinding the tenant mid-connection would leave streams
+            # opened under the old tenant registered in its gate while
+            # new batches are credit-checked against the new one,
+            # corrupting per-tenant backpressure accounting (and
+            # letting a client re-auth without closing its streams).
+            self.metrics.record_gateway(errors=1)
+            return {"type": "error", "code": "protocol",
+                    "error": "hello already accepted on this "
+                             "connection; reconnect to change tenant"}
         tenant = message.get("tenant") or DEFAULT_TENANT
         if self.tokens is not None:
             expected = self.tokens.get(tenant)
@@ -420,12 +435,27 @@ class StreamGateway:
         gate = self._gate(conn.tenant)
         # Check-then-put under the gate lock: a tenant streaming over
         # several connections must not race two puts past the mark.
+        # One depth reading serves the over-check, the metrics sample
+        # and the credit count — depth() prunes and sums every live
+        # buffer of the tenant, too hot to recompute per reply.
         with gate.cond:
-            over = (self.high_water is not None
-                    and gate.depth() >= self.high_water)
-            if not over:
-                buffer.put(batch)
             depth = gate.depth()
+            over = (self.high_water is not None
+                    and depth >= self.high_water)
+            if not over:
+                try:
+                    buffer.put(batch)
+                except RuntimeError:
+                    # Aborted between the closed check above and the
+                    # put (gateway stop or connection teardown from
+                    # another thread): refuse coherently instead of
+                    # killing the handler thread.
+                    self.metrics.record_gateway(errors=1)
+                    return {"type": "error", "code": "closed-stream",
+                            "error": f"stream for job {job_id!r} "
+                                     f"closed while the batch was in "
+                                     f"flight"}
+                depth += 1
         if over:
             # The client out-ran its credits: shed, never buffer.  The
             # batch is gone — the client decides whether to retry after
@@ -435,8 +465,9 @@ class StreamGateway:
             return {"type": "busy", "job_id": job_id, "credits": 0}
         self.metrics.record_gateway(batches=1, tuples=len(batch))
         self.metrics.sample_ingest_depth(depth)
-        return {"type": "ack", "job_id": job_id,
-                "credits": self._credits(conn.tenant)}
+        credits = (protocol.UNLIMITED_CREDITS if self.high_water is None
+                   else max(0, self.high_water - depth))
+        return {"type": "ack", "job_id": job_id, "credits": credits}
 
     def _on_end(self, conn: _Connection,
                 message: Dict[str, Any]) -> Dict[str, Any]:
@@ -526,7 +557,12 @@ class StreamGateway:
         if cancelled:
             buffer = conn.buffers.pop(job_id, None)
             if buffer is not None:
-                buffer.close()
+                # Abort, not close: a cancelled job never runs, so a
+                # closed buffer's batches would sit undrained and pin
+                # the tenant's high-water credits forever.  abort()
+                # drops them and the gate forgets the stream.
+                buffer.abort("job cancelled")
+                self._gate(conn.tenant).notify()
         return {"type": "ack", "job_id": job_id, "cancelled": cancelled}
 
     # ------------------------------------------------------------------

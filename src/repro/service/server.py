@@ -31,6 +31,7 @@ shares, admission quotas, and queue-delay SLO tracking.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
@@ -63,6 +64,10 @@ from repro.service.pool import WorkerPool, WorkItem
 from repro.service.queue import JobQueue
 from repro.service.windows import WindowManager
 from repro.workloads.streams import TimestampedBatch
+
+#: How long the dispatcher naps when every in-flight source is a
+#: network stream still waiting on its client (nothing to step).
+SOURCE_WAIT = 0.001
 
 
 @dataclass
@@ -176,6 +181,8 @@ class StreamService:
         self.retained_jobs = retained_jobs
         self._step_credit: Dict[str, float] = {}
         self._step_rotation: Dict[str, int] = {}
+        self._round_steps = 0
+        self._round_waits = 0
         # The job registry is shared with ingest threads (the network
         # gateway submits/polls from connection threads while the
         # dispatcher runs), so every access goes through _jobs_lock.
@@ -392,6 +399,14 @@ class StreamService:
                     # the control loop plans against.
                     self._controller.forget_tenant(tenant_id)
                 finished += 1
+            if active and self._round_steps == 0 \
+                    and self._round_waits > 0:
+                # Every steppable source this round was a network
+                # stream with nothing buffered yet: yield briefly so
+                # the wait on the clients is not a hot spin.  (A round
+                # with zero steps from fractional tenant weight banks
+                # credit instead and must not sleep.)
+                time.sleep(SOURCE_WAIT)
         return finished
 
     def _step_round(self, active: List[_ActiveJob]) -> List[_ActiveJob]:
@@ -404,6 +419,8 @@ class StreamService:
         Returns the jobs that finished (or failed) this round.
         """
         finished: List[_ActiveJob] = []
+        self._round_steps = 0
+        self._round_waits = 0
         by_tenant: Dict[str, List[_ActiveJob]] = {}
         for entry in active:
             by_tenant.setdefault(entry.job.tenant_id, []).append(entry)
@@ -417,13 +434,28 @@ class StreamService:
             # whose weight grants one step per round still round-robins
             # its in-flight jobs instead of pinning the first.
             rotation = self._step_rotation.get(tenant_id, 0)
-            while steps > 0 and entries:
+            skipped = 0
+            while steps > 0 and entries and skipped < len(entries):
                 # Normalize before indexing: a stale pointer beyond the
                 # current list (earlier wrap, earlier removal) must map
                 # onto the job the round-robin actually owes a step.
                 rotation %= len(entries)
                 entry = entries[rotation]
+                if not self._source_ready(entry):
+                    # A network stream with nothing buffered: pulling
+                    # it would block the whole single-threaded
+                    # dispatcher in next(), stalling every other
+                    # tenant's jobs.  Pass over it and serve whoever
+                    # has data; a full rotation of such skips forfeits
+                    # the tenant's remaining steps this round (idle
+                    # eviction lives in the source's readiness probe).
+                    rotation += 1
+                    skipped += 1
+                    self._round_waits += 1
+                    continue
+                skipped = 0
                 steps -= 1
+                self._round_steps += 1
                 if self._step_job(entry):
                     finished.append(entry)
                     # Removing by index slides the successor into this
@@ -533,6 +565,17 @@ class StreamService:
             source=iter(job.source),
             by_key=by_key,
         )
+
+    @staticmethod
+    def _source_ready(entry: _ActiveJob) -> bool:
+        """Whether pulling the job's source would not block.
+
+        Sources may expose a non-blocking ``poll_ready()`` probe (the
+        network ingest buffer does); plain in-process iterators never
+        block and are always steppable.
+        """
+        probe = getattr(entry.source, "poll_ready", None)
+        return probe is None or bool(probe())
 
     def _step_job(self, entry: _ActiveJob) -> bool:
         """Pull one source batch for one in-flight job.

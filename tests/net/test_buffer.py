@@ -1,6 +1,7 @@
 """IngestBuffer: FIFO order, close/abort semantics, blocking consume."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -98,3 +99,70 @@ class TestIngestBuffer:
         assert not buffer.drained()  # one batch still buffered
         list(buffer)
         assert buffer.drained()
+
+    def test_abort_drops_undelivered_batches(self):
+        """A lost connection must release the tenant's credits: the
+        aborted stream reports depth 0 and counts as drained, so the
+        gateway's high-water accounting forgets it."""
+        buffer = IngestBuffer()
+        buffer.put(batch_of(1))
+        buffer.put(batch_of(2))
+        buffer.abort("connection lost")
+        assert buffer.depth() == 0
+        assert buffer.drained()
+        with pytest.raises(RuntimeError, match="connection lost"):
+            next(iter(buffer))
+
+
+class TestPollReady:
+    def test_empty_open_stream_is_not_ready(self):
+        buffer = IngestBuffer()
+        assert not buffer.poll_ready()
+
+    def test_ready_with_data_close_or_abort(self):
+        buffer = IngestBuffer()
+        buffer.put(batch_of(1))
+        assert buffer.poll_ready()
+        next(iter(buffer))
+        assert not buffer.poll_ready()  # drained, still open
+        buffer.close()
+        assert buffer.poll_ready()  # next() raises StopIteration
+        aborted = IngestBuffer()
+        aborted.abort("gone")
+        assert aborted.poll_ready()  # next() raises immediately
+
+    def test_idle_expiry_aborts_through_the_probe(self):
+        """The dispatcher never blocks: an empty stream that out-sits
+        idle_timeout is aborted by the probe itself, so the next pull
+        fails the job instead of waiting."""
+        buffer = IngestBuffer(idle_timeout=0.05)
+        assert not buffer.poll_ready()
+        time.sleep(0.08)
+        assert buffer.poll_ready()
+        with pytest.raises(RuntimeError, match="idle"):
+            next(iter(buffer))
+
+    def test_no_idle_timeout_never_expires(self):
+        buffer = IngestBuffer()
+        time.sleep(0.02)
+        assert not buffer.poll_ready()
+
+    def test_idle_clock_starts_at_first_probe_not_construction(self):
+        """A job may sit queued longer than idle_timeout before the
+        dispatcher ever looks at its stream; the eviction clock must
+        start at the first probe (activation), not at submit."""
+        buffer = IngestBuffer(idle_timeout=0.05)
+        time.sleep(0.08)  # "queued" past the timeout
+        assert not buffer.poll_ready()  # first probe arms, not aborts
+        time.sleep(0.08)
+        assert buffer.poll_ready()  # now genuinely idle: aborted
+        with pytest.raises(RuntimeError, match="idle"):
+            next(iter(buffer))
+
+    def test_put_restarts_the_idle_clock(self):
+        buffer = IngestBuffer(idle_timeout=0.2)
+        time.sleep(0.12)
+        buffer.put(batch_of(1))
+        next(iter(buffer))
+        time.sleep(0.12)  # > 0.2 since creation, < 0.2 since the pop
+        assert not buffer.poll_ready()

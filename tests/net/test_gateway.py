@@ -133,6 +133,20 @@ class TestTenantContracts:
             gateway.stop()
             service.shutdown()
 
+    def test_second_hello_is_rejected_and_binding_kept(self, fleet):
+        """Re-auth on an established connection must be refused: a
+        rebind would leave streams opened under the old tenant in its
+        gate while new batches charge the new tenant's credits."""
+        _, gateway = fleet
+        with StreamClient(gateway.host, gateway.port,
+                          tenant="default") as client:
+            reply = client._request({"type": "hello", "tenant": "other"})
+            assert reply["type"] == "error"
+            assert reply["code"] == "protocol"
+            # The original binding still works.
+            job_id = client.submit("histo", window_seconds=WINDOW)
+            assert job_id
+
     def test_submit_before_hello_is_refused(self, fleet):
         _, gateway = fleet
         with socket.create_connection((gateway.host, gateway.port),
@@ -294,6 +308,174 @@ class TestRobustness:
             quiet.close()
             gateway.stop()
             service.shutdown()
+
+    def test_dead_connection_releases_tenant_credits(self):
+        """A client that vanishes with batches still buffered must not
+        pin the tenant's high-water accounting forever: the aborted
+        buffers drop their undelivered batches, so a fresh connection
+        of the same tenant gets its full credit line back."""
+        high_water = 2
+        service = StreamService(workers=1)
+        gateway = StreamGateway(service, high_water=high_water,
+                                serve=False)  # nothing ever drains
+        gateway.start()
+        batches = zipf_batches(tuples=3_000, chunk=1_000)
+        try:
+            flaky = StreamClient(gateway.host, gateway.port, timeout=30)
+            job_id = flaky.submit("histo", window_seconds=WINDOW)
+            for batch in batches[:high_water]:
+                assert flaky.send_batch(job_id, batch, wait=False)
+            assert flaky.credits == 0
+            # Vanish mid-stream with both credits consumed.
+            flaky._sock.shutdown(socket.SHUT_RDWR)
+            flaky._sock.close()
+            successor = StreamClient(gateway.host, gateway.port,
+                                     timeout=30)
+            try:
+                # Blocks only until the gateway reaps the dead
+                # connection; the seed bug kept the tenant pinned at
+                # zero credits forever.
+                assert successor.wait_credit() == high_water
+            finally:
+                successor.close()
+        finally:
+            gateway.stop()
+            service.shutdown()
+
+    def test_cancel_releases_buffered_credits(self):
+        """Cancelling a still-queued job whose stream already buffered
+        batches must drop them from the tenant's high-water depth: the
+        job never runs, so nothing else would ever drain them."""
+        high_water = 2
+        service = StreamService(workers=1)
+        gateway = StreamGateway(service, high_water=high_water,
+                                serve=False)  # job stays queued
+        gateway.start()
+        batches = zipf_batches(tuples=3_000, chunk=1_000)
+        client = StreamClient(gateway.host, gateway.port, timeout=30)
+        try:
+            job_id = client.submit("histo", window_seconds=WINDOW)
+            for batch in batches[:high_water]:
+                assert client.send_batch(job_id, batch, wait=False)
+            assert client.credits == 0
+            assert client.cancel(job_id)
+            # The seed bug kept the cancelled stream's batches counted
+            # forever, deadlocking the tenant at zero credits.
+            assert client.wait_credit() == high_water
+        finally:
+            client.close()
+            gateway.stop()
+            service.shutdown()
+
+    def test_gateway_restarts_after_stop(self):
+        """stop() then start() must yield a live gateway again (a
+        stale stop flag would leave accept/dispatch threads dead)."""
+        service = StreamService(workers=1)
+        gateway = StreamGateway(service)
+        gateway.start()
+        gateway.stop()
+        gateway.start()
+        batches = zipf_batches(tuples=2_000, chunk=1_000)
+        try:
+            with StreamClient(gateway.host, gateway.port) as client:
+                job_id = client.submit_stream("histo", iter(batches),
+                                              window_seconds=WINDOW)
+                result = client.result(job_id, timeout=30.0)
+            assert np.array_equal(result.result,
+                                  golden_histogram(batches))
+        finally:
+            gateway.stop()
+            service.shutdown()
+
+    def test_empty_open_stream_does_not_stall_siblings(self):
+        """The dispatcher must skip an admitted stream with nothing
+        buffered instead of blocking in next(): with eviction disabled
+        (idle_timeout=None) a sibling job of the same tenant still
+        streams past the high-water mark and completes, and the quiet
+        stream stays healthy for a late finish."""
+        service = StreamService(workers=2)
+        service.register_tenant(TenantSpec("alice", max_in_flight=2))
+        gateway = StreamGateway(service, high_water=2,
+                                idle_timeout=None)
+        gateway.start()
+        batches = zipf_batches(tuples=6_000, chunk=1_000)
+        done = {}
+        client = StreamClient(gateway.host, gateway.port,
+                              tenant="alice")
+
+        def stream_sibling():
+            job_id = client.submit_stream("histo", iter(batches),
+                                          window_seconds=WINDOW)
+            done["result"] = client.result(job_id, timeout=30.0)
+
+        try:
+            quiet_job = client.submit("histo", window_seconds=WINDOW)
+            thread = threading.Thread(target=stream_sibling)
+            thread.start()
+            thread.join(timeout=60.0)
+            assert not thread.is_alive()  # seed bug: wedged forever
+            assert np.array_equal(done["result"].result,
+                                  golden_histogram(batches))
+            # The quiet stream was skipped, not failed: it can still
+            # finish normally.
+            client.end(quiet_job)
+            client.result(quiet_job, timeout=30.0)
+            assert service.poll(quiet_job)["status"] == "completed"
+        finally:
+            client.close()
+            gateway.stop()
+            service.shutdown()
+
+    def test_result_long_wait_is_a_graceful_timeout(self):
+        """result() must widen the socket deadline past the requested
+        server-side wait: a job that never completes surfaces as the
+        protocol's 'timeout' error reply, not a raw socket.timeout
+        mid-read (the seed failure whenever timeout > socket default)."""
+        service = StreamService(workers=1)
+        gateway = StreamGateway(service, serve=False)
+        gateway.start()
+        client = StreamClient(gateway.host, gateway.port, timeout=0.5)
+        try:
+            job_id = client.submit("histo", window_seconds=WINDOW)
+            with pytest.raises(GatewayError) as excinfo:
+                client.result(job_id, timeout=1.5)
+            assert excinfo.value.code == "timeout"
+        finally:
+            client.close()
+            gateway.stop()
+            service.shutdown()
+
+    def test_batch_racing_abort_gets_closed_stream_reply(self):
+        """abort() landing between _on_batch's closed check and the
+        put (gateway stop, teardown from another thread) must yield a
+        coherent error reply, not an uncaught RuntimeError that kills
+        the handler thread."""
+        from repro.net.buffer import IngestBuffer
+        from repro.net.gateway import _Connection
+
+        service = StreamService(workers=1)
+        gateway = StreamGateway(service, serve=False)
+        conn = _Connection(sock=None)
+        conn.tenant = "default"
+        buffer = IngestBuffer()
+        conn.buffers["job"] = buffer
+        gateway._gate("default").add(buffer)
+        original = IngestBuffer.put
+
+        def racing_put(batch):
+            buffer.abort("connection torn down")
+            original(buffer, batch)
+
+        buffer.put = racing_put
+        message = {
+            "type": "batch", "job_id": "job",
+            **protocol.batch_payload(
+                zipf_batches(tuples=1_000, chunk=1_000)[0]),
+        }
+        reply = gateway._handle(conn, message)
+        assert reply["type"] == "error"
+        assert reply["code"] == "closed-stream"
+        service.shutdown()
 
     def test_oversized_line_is_rejected_and_disconnected(self):
         service = StreamService(workers=1)
