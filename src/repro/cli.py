@@ -199,7 +199,7 @@ def _service_for(args: argparse.Namespace):
                                 or args.tenant_slo is not None):
         raise SystemExit("--weight/--tenant-slo require --tenant")
     service = StreamService(workers=args.workers, balancer=args.balancer,
-                            engine=args.engine,
+                            engine=args.engine, backend=args.backend,
                             adaptive=args.adaptive, slo=args.slo,
                             reschedule_cost_cycles=args.reschedule_cost,
                             scheduler=args.scheduler,
@@ -282,7 +282,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ]
     served = service.run()
     print(f"served {served} jobs on {service.balancer.workers} workers "
-          f"[{service.balancer.describe()}, {args.engine} engine]")
+          f"[{service.balancer.describe()}, {args.engine} engine, "
+          f"{args.backend} backend]")
     if service.controller is not None:
         print(f"  {service.controller.describe()}")
     print()
@@ -313,7 +314,7 @@ def cmd_ingest(args: argparse.Namespace) -> int:
         high_water=None if args.no_backpressure else args.high_water)
     gateway.start()
     print(f"{gateway.describe()} — {args.workers} workers, "
-          f"{args.engine} engine", flush=True)
+          f"{args.engine} engine, {args.backend} backend", flush=True)
     if args.ready_file:
         pathlib.Path(args.ready_file).write_text(
             f"{gateway.host} {gateway.port}\n")
@@ -469,6 +470,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["fast", "cycle"],
                        help="segment executor: vectorized fast path "
                             "(modeled cycles) or the per-cycle simulator")
+        p.add_argument("--backend", default="inline",
+                       choices=["inline", "process"],
+                       help="execution backend: in-process worker "
+                            "threads (deterministic default) or warm "
+                            "pre-forked worker subprocesses (multi-core "
+                            "wall-time; identical results)")
         p.add_argument("--adaptive", action="store_true",
                        help="enable the adaptive control plane: drift "
                             "detection, cost-aware replanning with plan "

@@ -85,8 +85,9 @@ class AdaptiveController:
         this) so that observing a window no longer replans as a side
         effect.
     pool:
-        The fleet's :class:`~repro.service.pool.WorkerPool` (resized by
-        the autoscaler).
+        The fleet's :class:`~repro.service.executor.ExecutionBackend`
+        (any adapter — inline threads or warm subprocesses; resized by
+        the autoscaler through the port).
     metrics:
         Shared :class:`~repro.service.metrics.ServiceMetrics`.
     policy:

@@ -35,6 +35,24 @@ class SegmentOutcome:
 
 
 @dataclass
+class SessionSnapshot:
+    """Portable state of one session: the running result plus history.
+
+    This is the unit the multi-process execution backend ships between a
+    worker subprocess and the dispatcher: everything needed to fold the
+    worker's partial into the job's merged session
+    (:meth:`StreamingSession.absorb`), without the kernel, config, or any
+    other live object crossing the process boundary.  ``kernel_type``
+    names the kernel class so a snapshot cannot be absorbed into a
+    session of a different application.
+    """
+
+    kernel_type: str
+    result: Any
+    history: List[SegmentOutcome] = field(default_factory=list)
+
+
+@dataclass
 class StreamingSession:
     """Processes stream segments and accumulates the application result.
 
@@ -105,6 +123,41 @@ class StreamingSession:
                 self.result = self.kernel.combine_results(self.result,
                                                           other.result)
         for record in other.history:
+            self.history.append(replace(record, index=len(self.history)))
+
+    def snapshot(self) -> SessionSnapshot:
+        """Portable copy of the session's accumulated state.
+
+        The result object is shared, not copied: snapshots are taken at
+        process-boundary handoff points where the source session is
+        about to be discarded (or pickled, which copies anyway).
+        """
+        return SessionSnapshot(
+            kernel_type=type(self.kernel).__name__,
+            result=self.result,
+            history=list(self.history),
+        )
+
+    def absorb(self, snapshot: SessionSnapshot) -> None:
+        """Fold a :class:`SessionSnapshot` into this session.
+
+        The cross-process analogue of :meth:`merge_from`: same
+        ``combine_results`` reduction, same history concatenation and
+        re-indexing, applied to a snapshot instead of a live session.
+        """
+        if snapshot.kernel_type != type(self.kernel).__name__:
+            raise ValueError(
+                "cannot absorb a snapshot of a different application "
+                f"({type(self.kernel).__name__} vs "
+                f"{snapshot.kernel_type})"
+            )
+        if snapshot.result is not None:
+            if self.result is None:
+                self.result = snapshot.result
+            else:
+                self.result = self.kernel.combine_results(
+                    self.result, snapshot.result)
+        for record in snapshot.history:
             self.history.append(replace(record, index=len(self.history)))
 
     @property

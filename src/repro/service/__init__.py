@@ -18,9 +18,17 @@ workers serving many clients:
     Cluster-level skew balancing: key-range sharding with the paper's
     greedy SecPE plan (reused from :mod:`repro.core.profiler`) attaching
     secondary workers to hot ranges; plus the naive round-robin baseline.
+``executor``
+    The hexagonal execution-backend port (:class:`ExecutionBackend`)
+    behind which the fleet runs, plus the picklable
+    :class:`SessionSpec` job recipe it trades in.
 ``pool``
-    K concurrent pipeline workers with per-(worker, job) streaming
-    sessions.
+    The ``"inline"`` adapter: K pipeline workers as daemon threads with
+    per-(worker, job) streaming sessions (deterministic default).
+``procpool``
+    The ``"process"`` adapter: K warm, pre-forked worker subprocesses
+    fed raw NumPy buffers over pipes — the multi-core raw-speed path,
+    bit-identical to inline.
 ``server``
     The :class:`~repro.service.server.StreamService` façade: submit /
     poll / result / run.
@@ -56,7 +64,14 @@ from repro.service.metrics import (
     TenantStats,
     WorkerStats,
 )
-from repro.service.pool import WorkItem, WorkerPool
+from repro.service.executor import (
+    ExecutionBackend,
+    SessionSpec,
+    make_backend,
+    validate_backend,
+)
+from repro.service.pool import InlineBackend, WorkItem, WorkerPool
+from repro.service.procpool import ProcessBackend
 from repro.service.queue import JobQueue
 from repro.service.server import StreamService
 from repro.service.windows import EventWindow, WindowManager
@@ -65,15 +80,19 @@ __all__ = [
     "DEFAULT_TENANT",
     "SERVED_APPS",
     "EventWindow",
+    "ExecutionBackend",
     "FleetBalancer",
     "GatewayStats",
+    "InlineBackend",
     "Job",
     "JobQueue",
     "JobResult",
     "JobStatus",
+    "ProcessBackend",
     "QuotaExceededError",
     "RoundRobinBalancer",
     "ServiceMetrics",
+    "SessionSpec",
     "SkewAwareBalancer",
     "StreamService",
     "TenantSpec",
@@ -83,6 +102,8 @@ __all__ = [
     "WorkerPool",
     "WorkerStats",
     "kernel_for",
+    "make_backend",
     "make_balancer",
     "shard_of_keys",
+    "validate_backend",
 ]

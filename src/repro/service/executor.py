@@ -1,0 +1,173 @@
+"""The execution-backend port: how the service drives a worker fleet.
+
+The serving layer is hexagonal at the execution boundary: everything
+above the fleet — the dispatcher, the balancer, the adaptive controller,
+the autoscaler — talks to an abstract :class:`ExecutionBackend` (this
+module), and the concrete mechanics of *where* a worker runs live in
+adapters:
+
+``repro.service.pool.WorkerPool`` (``backend="inline"``)
+    K daemon threads inside the service process.  Deterministic, replay
+    safe, zero serialization — and GIL-serialized, so the fleet's
+    simulated-cycle parallelism never becomes wall-time parallelism.
+
+``repro.service.procpool.ProcessBackend`` (``backend="process"``)
+    K warm, pre-forked worker subprocesses that stay up across jobs.
+    Shards travel as raw NumPy buffers over pipes, per-(worker, job)
+    sessions live in the child, and partial results come back as compact
+    :class:`~repro.runtime.session.SessionSnapshot`s on collection.
+    This is the multi-core raw-speed path (the ModelOps warm-pool shape:
+    processes are forked once and reused, never cold-started per job).
+
+Both adapters make the same guarantee: given the same dispatch sequence
+they produce bit-identical merged results and identical deterministic
+metrics, because all routing decisions happen above the port and partial
+merges happen in a fixed (worker, generation) order.
+
+:class:`SessionSpec` is the port's job-description currency: a small,
+picklable recipe from which any adapter — in any process — can build the
+per-(worker, job) :class:`~repro.runtime.session.StreamingSession`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.config import ArchitectureConfig
+from repro.runtime.session import StreamingSession
+
+#: The registered execution backends, in preference-for-replay order.
+BACKENDS = ("inline", "process")
+
+
+def validate_backend(backend: str) -> str:
+    """Normalize and validate a backend name (mirrors validate_engine)."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r} (inline | process)")
+    return backend
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Picklable recipe for one job's per-worker streaming session.
+
+    Everything a worker — thread or subprocess — needs to build a fresh
+    :class:`StreamingSession` with its own kernel instance: the app
+    name and params (the kernel factory's inputs), the architecture
+    configuration, and the engine/budget knobs.  Live objects (the Job,
+    its source iterator, the service) never cross the port.
+    """
+
+    app: str
+    config: ArchitectureConfig
+    max_cycles_per_segment: int = 20_000_000
+    engine: str = "fast"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> StreamingSession:
+        """Construct the session (imports deferred: children call this)."""
+        from repro.service.jobs import kernel_for
+
+        return StreamingSession(
+            config=self.config,
+            kernel=kernel_for(self.app, self.config.pripes, self.params),
+            max_cycles_per_segment=self.max_cycles_per_segment,
+            engine=self.engine,
+        )
+
+
+class ExecutionBackend(ABC):
+    """Port through which the service drives K pipeline workers.
+
+    Lifecycle contract (all calls from the dispatcher thread):
+
+    1. :meth:`start` brings the fleet up warm; workers persist across
+       jobs.  After :meth:`stop` — even a failed one — the backend must
+       be restartable with a fresh :meth:`start`.
+    2. :meth:`dispatch` queues one window shard on one worker; shards
+       for the same worker process in FIFO order.
+    3. :meth:`drain` barriers until every dispatched shard has been
+       processed *and its segment metrics and errors are visible* to
+       the parent (:class:`~repro.service.metrics.ServiceMetrics` and
+       :meth:`errors`).
+    4. :meth:`collect` (only after :meth:`drain`) merges a finished
+       job's per-worker partial sessions — including partials retained
+       from workers removed by a :meth:`resize` — in ascending
+       (worker_id, generation) order, and releases them.
+    5. :meth:`resize` grows the fleet with fresh warm workers or shrinks
+       it after draining the removed workers, retaining their partial
+       sessions for :meth:`collect`.  Callers stop routing to removed
+       worker IDs first (the balancer's ``reconfigure`` does this).
+
+    ``size`` is the current fleet size K; worker IDs are 0..size-1.
+    """
+
+    size: int
+
+    @abstractmethod
+    def start(self) -> None:
+        """Bring the worker fleet up (idempotent while running)."""
+
+    @abstractmethod
+    def stop(self) -> None:
+        """Drain and stop every worker; must leave a restartable pool."""
+
+    @abstractmethod
+    def dispatch(self, worker_id: int, item) -> None:
+        """Queue one :class:`~repro.service.pool.WorkItem` on one worker."""
+
+    @abstractmethod
+    def drain(self) -> None:
+        """Block until every dispatched item is processed and accounted."""
+
+    @abstractmethod
+    def resize(self, workers: int) -> None:
+        """Grow or shrink the fleet to ``workers`` pipeline instances."""
+
+    @abstractmethod
+    def collect(self, job_id: str) -> Optional[StreamingSession]:
+        """Merge and release one finished job's partial sessions."""
+
+    @abstractmethod
+    def errors(self, job_id: str) -> List[str]:
+        """Worker errors recorded for one job (drain first)."""
+
+    @abstractmethod
+    def clear_errors(self, job_id: str) -> None:
+        """Drop one job's error ledger (job start / collection)."""
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        return f"{type(self).__name__} ({self.size} workers)"
+
+
+def make_backend(
+    backend: str,
+    workers: int,
+    spec_factory: Callable[[str], SessionSpec],
+    metrics,
+    join_timeout: float = 60.0,
+) -> ExecutionBackend:
+    """Build the named adapter behind the :class:`ExecutionBackend` port.
+
+    ``spec_factory`` maps a job id to its :class:`SessionSpec`; the
+    inline adapter builds sessions from it directly, the process adapter
+    ships the spec to the owning subprocess on the job's first shard.
+    """
+    validate_backend(backend)
+    if backend == "inline":
+        from repro.service.pool import WorkerPool
+
+        return WorkerPool(
+            workers,
+            lambda job_id: spec_factory(job_id).build(),
+            metrics,
+            join_timeout=join_timeout,
+        )
+    from repro.service.procpool import ProcessBackend
+
+    return ProcessBackend(workers, spec_factory, metrics,
+                          join_timeout=join_timeout)

@@ -1,4 +1,4 @@
-"""Sharded worker pool: K concurrent pipeline instances.
+"""Inline execution backend: K pipeline workers as daemon threads.
 
 Each worker is a daemon thread owning a FIFO of :class:`WorkItem`s and a
 per-job :class:`~repro.runtime.session.StreamingSession` (so one worker
@@ -8,8 +8,18 @@ warm-pool executor shape from the ModelOps related work: workers stay
 up across jobs, work routing is the balancer's problem, and partial
 results merge on collection.
 
+This is the ``backend="inline"`` adapter of the
+:class:`~repro.service.executor.ExecutionBackend` port — deterministic
+and replay safe, but GIL-serialized; the multi-core raw-speed adapter
+lives in :mod:`repro.service.procpool`.
+
 Worker concurrency is real (threads), but throughput accounting is in
 deterministic simulated cycles — see :mod:`repro.service.metrics`.
+
+Sessions are keyed ``(worker_id, generation, job_id)``: the pool bumps
+its generation every time it mints new workers (grow, restart), so a
+worker id freed by a scale-down and later reissued by a scale-up can
+never silently adopt the removed worker's retained partial session.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.runtime.session import StreamingSession
+from repro.service.executor import ExecutionBackend
 from repro.service.jobs import DEFAULT_TENANT
 from repro.workloads.tuples import TupleBatch
 
@@ -44,9 +55,11 @@ class WorkItem:
 class _Worker(threading.Thread):
     """One pipeline worker draining its private work queue."""
 
-    def __init__(self, worker_id: int, pool: "WorkerPool") -> None:
+    def __init__(self, worker_id: int, generation: int,
+                 pool: "WorkerPool") -> None:
         super().__init__(name=f"pipeline-worker-{worker_id}", daemon=True)
         self.worker_id = worker_id
+        self.generation = generation
         self.pool = pool
         self.inbox: "queue.Queue" = queue.Queue()
 
@@ -66,14 +79,15 @@ class _Worker(threading.Thread):
     def _process(self, item: WorkItem) -> None:
         if len(item.batch) == 0:
             return
-        session = self.pool._session(self.worker_id, item.job_id)
+        session = self.pool._session(self.worker_id, self.generation,
+                                     item.job_id)
         outcome = session.process(item.batch)
         self.pool.metrics.record_segment(
             self.worker_id, outcome.tuples, outcome.cycles,
             tenant=item.tenant_id)
 
 
-class WorkerPool:
+class WorkerPool(ExecutionBackend):
     """K pipeline workers with per-(worker, job) streaming sessions.
 
     Parameters
@@ -85,6 +99,9 @@ class WorkerPool:
         own kernel instance) the first time a worker sees a job.
     metrics:
         Shared :class:`~repro.service.metrics.ServiceMetrics`.
+    join_timeout:
+        Seconds to wait for a worker thread to exit on :meth:`stop` /
+        scale-down before declaring it hung.
     """
 
     def __init__(
@@ -92,14 +109,18 @@ class WorkerPool:
         workers: int,
         session_factory: Callable[[str], StreamingSession],
         metrics,
+        join_timeout: float = 60.0,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
         self.size = workers
         self.session_factory = session_factory
         self.metrics = metrics
-        self._workers = [_Worker(i, self) for i in range(workers)]
-        self._sessions: Dict[Tuple[int, str], StreamingSession] = {}
+        self.join_timeout = join_timeout
+        self._generation = 0
+        self._workers = [_Worker(i, self._generation, self)
+                         for i in range(workers)]
+        self._sessions: Dict[Tuple[int, int, str], StreamingSession] = {}
         self._errors: Dict[str, List[str]] = {}
         self._lock = threading.Lock()
         self._started = False
@@ -111,29 +132,44 @@ class WorkerPool:
         if self._started:
             return
         # Threads are single-use: after a stop(), build a fresh set so
-        # the pool (and hence the service) can be restarted.
+        # the pool (and hence the service) can be restarted.  The new
+        # workers get a fresh generation — if a previous stop() timed
+        # out, the hung thread keeps writing under its old generation
+        # key and can never collide with its replacement's sessions.
         if any(worker.ident is not None for worker in self._workers):
-            self._workers = [_Worker(i, self) for i in range(self.size)]
+            self._generation += 1
+            self._workers = [_Worker(i, self._generation, self)
+                             for i in range(self.size)]
         self._started = True
         for worker in self._workers:
             worker.start()
 
     def stop(self) -> None:
-        """Drain outstanding work, then stop every worker thread."""
+        """Drain outstanding work, then stop every worker thread.
+
+        A worker that fails to exit within ``join_timeout`` raises
+        RuntimeError — but only after the pool has been marked stopped,
+        so a subsequent :meth:`start` still works (it mints replacement
+        workers under a fresh generation; the hung daemon thread is
+        abandoned).
+        """
         if not self._started:
             return
         for worker in self._workers:
             worker.inbox.put(_STOP)
         for worker in self._workers:
-            worker.join(timeout=60.0)
+            worker.join(timeout=self.join_timeout)
         hung = [w.worker_id for w in self._workers if w.is_alive()]
-        if hung:
-            # Surface the hang instead of letting a zombie worker keep
-            # writing into shared metrics after a restart.
-            raise RuntimeError(
-                f"workers {hung} did not stop within 60s "
-                "(segment exceeding its cycle budget?)")
+        # Mark stopped *before* surfacing the hang: the pool must stay
+        # restartable even when shutdown fails (satellite of record —
+        # the old code left _started=True, so start() was a no-op and
+        # dispatch() kept feeding a half-dead fleet).
         self._started = False
+        if hung:
+            raise RuntimeError(
+                f"workers {hung} did not stop within "
+                f"{self.join_timeout:g}s "
+                "(segment exceeding its cycle budget?)")
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -155,18 +191,22 @@ class WorkerPool:
         """Grow or shrink the fleet to ``workers`` pipeline instances.
 
         Growing starts fresh worker threads immediately (if the pool is
-        running).  Shrinking stops the highest-numbered workers after
-        they drain their queued items; their per-job partial sessions
-        stay registered so :meth:`collect` still merges them.  Callers
-        must stop routing to removed worker IDs first (the balancer's
-        ``reconfigure`` does this).
+        running) under a new pool generation, so a worker id that was
+        removed by an earlier shrink cannot adopt the removed worker's
+        retained partial session.  Shrinking stops the highest-numbered
+        workers after they drain their queued items; their per-job
+        partial sessions stay registered so :meth:`collect` still
+        merges them.  Callers must stop routing to removed worker IDs
+        first (the balancer's ``reconfigure`` does this).
         """
         if workers <= 0:
             raise ValueError("workers must be positive")
         if workers == self.size:
             return
         if workers > self.size:
-            grown = [_Worker(i, self) for i in range(self.size, workers)]
+            self._generation += 1
+            grown = [_Worker(i, self._generation, self)
+                     for i in range(self.size, workers)]
             self._workers.extend(grown)
             self.size = workers
             if self._started:
@@ -174,24 +214,28 @@ class WorkerPool:
                     worker.start()
             return
         removed = self._workers[workers:]
+        # Trim the live roster before joining: even if a removed worker
+        # hangs, the pool's size/worker-list state stays consistent and
+        # later start()/resize() calls behave.
         self._workers = self._workers[:workers]
         self.size = workers
         if self._started:
             for worker in removed:
                 worker.inbox.put(_STOP)
             for worker in removed:
-                worker.join(timeout=60.0)
+                worker.join(timeout=self.join_timeout)
             hung = [w.worker_id for w in removed if w.is_alive()]
             if hung:
                 raise RuntimeError(
-                    f"workers {hung} did not stop within 60s during "
-                    "scale-down")
+                    f"workers {hung} did not stop within "
+                    f"{self.join_timeout:g}s during scale-down")
 
     # ------------------------------------------------------------------
     # Session management and collection
     # ------------------------------------------------------------------
-    def _session(self, worker_id: int, job_id: str) -> StreamingSession:
-        key = (worker_id, job_id)
+    def _session(self, worker_id: int, generation: int,
+                 job_id: str) -> StreamingSession:
+        key = (worker_id, generation, job_id)
         with self._lock:
             session = self._sessions.get(key)
             if session is None:
@@ -226,6 +270,9 @@ class WorkerPool:
         Call only after :meth:`drain`.  Returns None if no worker
         processed any tuple for the job.  The per-worker sessions (and
         the job's error ledger) are released, so collection is one-shot.
+        Partials merge in ascending (worker_id, generation) order — the
+        fixed order both backends share, which keeps order-sensitive
+        reductions (partition lists) bit-identical across backends.
         """
         partials: List[StreamingSession] = []
         with self._lock:
@@ -233,7 +280,7 @@ class WorkerPool:
             # Iterate the session registry, not range(size): workers
             # removed by a scale-down still hold partials to merge.
             owned = sorted(key for key in self._sessions
-                           if key[1] == job_id)
+                           if key[2] == job_id)
             for key in owned:
                 partial = self._sessions.pop(key)
                 if partial.history:
@@ -244,3 +291,7 @@ class WorkerPool:
         for partial in partials:
             merged.merge_from(partial)
         return merged
+
+
+#: Port-facing alias: the thread adapter is the ``"inline"`` backend.
+InlineBackend = WorkerPool

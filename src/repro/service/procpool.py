@@ -1,0 +1,395 @@
+"""Process execution backend: K warm, pre-forked worker subprocesses.
+
+The ``backend="process"`` adapter of the
+:class:`~repro.service.executor.ExecutionBackend` port.  Where the
+inline adapter (:mod:`repro.service.pool`) runs the fleet as threads —
+deterministic but GIL-serialized — this one forks K worker subprocesses
+once and keeps them warm across jobs, the ModelOps warm-pool shape: no
+per-job cold start, routing stays the balancer's problem, and partial
+results merge on collection.
+
+Transport is deliberately thin: each child owns one duplex pipe.  Job
+descriptions cross it once per (worker, job) as a picklable
+:class:`~repro.service.executor.SessionSpec`; window shards cross it as
+raw NumPy buffers (``send_bytes`` of the key/value arrays — no pickle on
+the hot path); partial results come back as compact
+:class:`~repro.runtime.session.SessionSnapshot`s.  Per-(worker, job)
+sessions live in the child, so the parent holds no kernel state at all
+for in-flight work.
+
+Determinism contract: the child records each segment's (tuples, cycles,
+tenant) locally and ships the ledger back on :meth:`ProcessBackend.drain`,
+where the parent folds it into the shared
+:class:`~repro.service.metrics.ServiceMetrics`.  Segment accounting is
+commutative per worker, and the dispatch clock is advanced only by the
+dispatcher thread, so metrics snapshots after a drain are identical to
+the inline backend's.  Collection merges partials in ascending
+(worker_id, generation) order — the same fixed order the inline adapter
+uses — which keeps order-sensitive reductions (partition lists)
+bit-identical across backends.
+
+Like the inline pool, sessions/snapshots are tagged with a pool
+generation (bumped whenever new workers are minted), so a worker id
+reissued after shrink-then-grow can never adopt a removed worker's
+retained partial.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import traceback
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.runtime.session import SessionSnapshot, StreamingSession
+from repro.service.executor import ExecutionBackend, SessionSpec
+from repro.service.pool import WorkItem
+from repro.workloads.tuples import TupleBatch
+
+#: Fork is required: children must inherit the imported code (spawn
+#: would re-import, which also works, but fork keeps warm start cheap
+#: and matches the pre-forked-pool design).
+_CTX = multiprocessing.get_context("fork")
+
+
+def _child_main(conn, worker_id: int) -> None:
+    """One warm worker subprocess: drain the pipe until handoff.
+
+    State lives entirely in this process: job specs, per-job streaming
+    sessions, and the segment/error ledgers that ship back on flush.
+    """
+    specs: Dict[str, SessionSpec] = {}
+    sessions: Dict[str, StreamingSession] = {}
+    records: List[Tuple[int, int, str]] = []  # (tuples, cycles, tenant)
+    errors: List[Tuple[str, str]] = []        # (job_id, message)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away; daemon child just exits
+        kind = msg[0]
+        if kind == "job":
+            _, job_id, spec = msg
+            specs[job_id] = spec
+        elif kind == "work":
+            _, job_id, tenant_id, tuple_bytes = msg
+            keys = np.frombuffer(conn.recv_bytes(), dtype=np.uint64)
+            values = np.frombuffer(conn.recv_bytes(), dtype=np.int64)
+            try:
+                batch = TupleBatch(keys, values, tuple_bytes)
+                session = sessions.get(job_id)
+                if session is None:
+                    session = specs[job_id].build()
+                    sessions[job_id] = session
+                outcome = session.process(batch)
+                records.append((outcome.tuples, outcome.cycles, tenant_id))
+            except Exception as exc:  # noqa: BLE001 — shipped to parent
+                errors.append((
+                    job_id,
+                    "".join(traceback.format_exception_only(type(exc), exc))
+                    .strip(),
+                ))
+        elif kind == "flush":
+            conn.send(("flushed", records, errors))
+            records, errors = [], []
+        elif kind == "collect":
+            _, job_id = msg
+            session = sessions.pop(job_id, None)
+            snap = (session.snapshot()
+                    if session is not None and session.history else None)
+            conn.send(("collected", snap))
+        elif kind == "handoff":
+            snaps = {job_id: session.snapshot()
+                     for job_id, session in sessions.items()
+                     if session.history}
+            conn.send(("handoff", snaps, records, errors))
+            conn.close()
+            return
+
+
+class _ChildHandle:
+    """Parent-side bookkeeping for one warm worker subprocess."""
+
+    def __init__(self, worker_id: int, generation: int) -> None:
+        self.worker_id = worker_id
+        self.generation = generation
+        parent_conn, child_conn = _CTX.Pipe()
+        self.conn = parent_conn
+        self.process = _CTX.Process(
+            target=_child_main,
+            args=(child_conn, worker_id),
+            name=f"pipeline-proc-{worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        #: Jobs whose SessionSpec this child has received.
+        self.jobs: Set[str] = set()
+
+
+class ProcessBackend(ExecutionBackend):
+    """K warm pre-forked pipeline workers behind pipes.
+
+    Parameters
+    ----------
+    workers:
+        Fleet size K.
+    spec_factory:
+        ``job_id -> SessionSpec``; the spec is shipped to the owning
+        child on the job's first shard so the child can build the
+        per-(worker, job) session itself.
+    metrics:
+        Shared :class:`~repro.service.metrics.ServiceMetrics`; child
+        segment ledgers are folded in on :meth:`drain`.
+    join_timeout:
+        Seconds to wait for a child to exit on :meth:`stop` /
+        scale-down before it is forcibly terminated.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        spec_factory: Callable[[str], SessionSpec],
+        metrics,
+        join_timeout: float = 60.0,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.size = workers
+        self.spec_factory = spec_factory
+        self.metrics = metrics
+        self.join_timeout = join_timeout
+        self._generation = 0
+        self._children: List[_ChildHandle] = []
+        #: Partials handed off by removed/stopped workers, awaiting
+        #: collection, keyed (worker_id, generation, job_id).
+        self._orphans: Dict[Tuple[int, int, str], SessionSnapshot] = {}
+        self._errors: Dict[str, List[str]] = {}
+        self._lock = threading.Lock()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._generation += 1
+        self._children = [_ChildHandle(i, self._generation)
+                          for i in range(self.size)]
+        self._started = True
+
+    def stop(self) -> None:
+        """Hand off every child's state, then stop the fleet.
+
+        Children flush their segment/error ledgers and surrender their
+        retained partial sessions as orphan snapshots (so a post-stop
+        :meth:`collect` still merges them, matching the inline pool's
+        retained ``_sessions``).  The pool is marked stopped before any
+        failure is surfaced, so it always stays restartable.
+        """
+        if not self._started:
+            return
+        children, self._children = self._children, []
+        self._started = False
+        stuck: List[int] = []
+        for child in children:
+            if not self._handoff(child):
+                continue
+            child.process.join(timeout=self.join_timeout)
+            if child.process.is_alive():
+                child.process.terminate()
+                child.process.join(timeout=5.0)
+                if child.process.is_alive():
+                    stuck.append(child.worker_id)
+        if stuck:
+            raise RuntimeError(
+                f"workers {stuck} did not stop within "
+                f"{self.join_timeout:g}s (segment exceeding its cycle "
+                "budget?)")
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, worker_id: int, item: WorkItem) -> None:
+        """Ship one shard to one child as raw NumPy buffers."""
+        if not 0 <= worker_id < self.size:
+            raise ValueError(f"no such worker {worker_id}")
+        if not self._started:
+            raise RuntimeError("pool is not running; call start() first")
+        if len(item.batch) == 0:
+            return  # parity with the inline worker's empty-shard skip
+        child = self._children[worker_id]
+        try:
+            if item.job_id not in child.jobs:
+                child.conn.send(
+                    ("job", item.job_id, self.spec_factory(item.job_id)))
+                child.jobs.add(item.job_id)
+            child.conn.send(
+                ("work", item.job_id, item.tenant_id,
+                 item.batch.tuple_bytes))
+            child.conn.send_bytes(item.batch.keys.tobytes())
+            child.conn.send_bytes(item.batch.values.tobytes())
+        except (BrokenPipeError, EOFError, OSError):
+            self._revive(worker_id, crashed_while=item.job_id)
+
+    def drain(self) -> None:
+        """Flush every child and fold their ledgers into the metrics.
+
+        The pipe is FIFO, so the flush reply doubles as a completion
+        barrier: when it arrives, every previously dispatched shard has
+        been processed.  The parent never holds a recv while a child
+        waits on it, so the barrier cannot deadlock.
+        """
+        if not self._started:
+            return
+        for worker_id in range(self.size):
+            child = self._children[worker_id]
+            reply = self._roundtrip(child, ("flush",))
+            if reply is None:
+                self._revive(worker_id)
+                continue
+            _, records, errors = reply
+            self._fold(child.worker_id, records, errors)
+
+    def resize(self, workers: int) -> None:
+        """Grow with fresh warm children or shrink via state handoff.
+
+        New children get a bumped pool generation (worker-id reuse can
+        never adopt an old partial); removed children flush, surrender
+        their partial sessions as orphan snapshots for :meth:`collect`,
+        and exit.  Callers must stop routing to removed worker IDs
+        first (the balancer's ``reconfigure`` does this).
+        """
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if workers == self.size:
+            return
+        if workers > self.size:
+            if self._started:
+                self._generation += 1
+                self._children.extend(
+                    _ChildHandle(i, self._generation)
+                    for i in range(self.size, workers))
+            self.size = workers
+            return
+        removed = self._children[workers:] if self._started else []
+        if self._started:
+            self._children = self._children[:workers]
+        self.size = workers
+        for child in removed:
+            if self._handoff(child):
+                child.process.join(timeout=self.join_timeout)
+                if child.process.is_alive():
+                    child.process.terminate()
+
+    # ------------------------------------------------------------------
+    # Errors and collection
+    # ------------------------------------------------------------------
+    def errors(self, job_id: str) -> List[str]:
+        with self._lock:
+            return list(self._errors.get(job_id, []))
+
+    def clear_errors(self, job_id: str) -> None:
+        """Drop one job's error ledger (see the inline pool's docs)."""
+        with self._lock:
+            self._errors.pop(job_id, None)
+
+    def collect(self, job_id: str) -> Optional[StreamingSession]:
+        """Merge one finished job's partials from children and orphans.
+
+        Call only after :meth:`drain`.  Children surrender their
+        snapshot for the job over the pipe; partials from workers
+        removed by a scale-down (or a stop) come from the orphan store.
+        Merge order is ascending (worker_id, generation), identical to
+        the inline pool.
+        """
+        with self._lock:
+            self._errors.pop(job_id, None)
+        snaps: List[Tuple[int, int, SessionSnapshot]] = []
+        if self._started:
+            for worker_id in range(self.size):
+                child = self._children[worker_id]
+                if job_id not in child.jobs:
+                    continue
+                child.jobs.discard(job_id)
+                reply = self._roundtrip(child, ("collect", job_id))
+                if reply is None:
+                    self._revive(worker_id)
+                    continue
+                snap = reply[1]
+                if snap is not None:
+                    snaps.append((child.worker_id, child.generation, snap))
+        orphan_keys = sorted(key for key in self._orphans
+                             if key[2] == job_id)
+        for key in orphan_keys:
+            snaps.append((key[0], key[1], self._orphans.pop(key)))
+        if not snaps:
+            return None
+        snaps.sort(key=lambda entry: (entry[0], entry[1]))
+        merged = self.spec_factory(job_id).build()
+        for _, _, snap in snaps:
+            merged.absorb(snap)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Child plumbing
+    # ------------------------------------------------------------------
+    def _roundtrip(self, child: _ChildHandle, msg) -> Optional[tuple]:
+        """Send one request and await its reply; None if the child died."""
+        try:
+            child.conn.send(msg)
+            if not child.conn.poll(self.join_timeout):
+                return None
+            return child.conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            return None
+
+    def _handoff(self, child: _ChildHandle) -> bool:
+        """Ask a child to flush, surrender its sessions, and exit."""
+        reply = self._roundtrip(child, ("handoff",))
+        if reply is None:
+            self._abandon(child)
+            return False
+        _, snapshots, records, errors = reply
+        for job_id, snap in snapshots.items():
+            self._orphans[(child.worker_id, child.generation, job_id)] = snap
+        self._fold(child.worker_id, records, errors)
+        return True
+
+    def _fold(self, worker_id: int,
+              records: List[Tuple[int, int, str]],
+              errors: List[Tuple[str, str]]) -> None:
+        """Fold a child's shipped ledgers into the parent's state."""
+        for tuples, cycles, tenant_id in records:
+            self.metrics.record_segment(worker_id, tuples, cycles,
+                                        tenant=tenant_id)
+        with self._lock:
+            for job_id, message in errors:
+                self._errors.setdefault(job_id, []).append(message)
+
+    def _abandon(self, child: _ChildHandle) -> None:
+        """Write off a dead/unresponsive child and its in-flight jobs."""
+        with self._lock:
+            for job_id in sorted(child.jobs):
+                self._errors.setdefault(job_id, []).append(
+                    f"RuntimeError: worker {child.worker_id} subprocess "
+                    "died; its partial results for this job were lost")
+        try:
+            child.conn.close()
+        except OSError:
+            pass
+        if child.process.is_alive():
+            child.process.terminate()
+
+    def _revive(self, worker_id: int, crashed_while: str = None) -> None:
+        """Replace a crashed child with a fresh warm one (new generation)."""
+        child = self._children[worker_id]
+        if crashed_while is not None:
+            child.jobs.add(crashed_while)
+        self._abandon(child)
+        self._generation += 1
+        self._children[worker_id] = _ChildHandle(worker_id,
+                                                 self._generation)

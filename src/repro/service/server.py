@@ -13,7 +13,7 @@
                                                                      │
                ┌───────────────┬───────────────┬─────────────────────┘
                ▼               ▼               ▼
-          worker 0        worker 1   ...  worker K-1      (WorkerPool)
+          worker 0        worker 1   ...  worker K-1   (ExecutionBackend)
         StreamingSession per (worker, job); partials merge on completion
 
 The dispatcher serves jobs *per tenant*: the queue's weighted-fair
@@ -42,7 +42,6 @@ from repro.control.controller import AdaptiveController, ControlPolicy
 from repro.control.replanner import default_reschedule_cost_cycles
 from repro.core.config import ArchitectureConfig
 from repro.core.fastpath import validate_engine
-from repro.runtime.session import StreamingSession
 from repro.service.balancer import (
     FleetBalancer,
     SkewAwareBalancer,
@@ -59,8 +58,9 @@ from repro.service.jobs import (
     kernel_class_for,
     kernel_for,
 )
+from repro.service.executor import SessionSpec, make_backend, validate_backend
 from repro.service.metrics import ServiceMetrics
-from repro.service.pool import WorkerPool, WorkItem
+from repro.service.pool import WorkItem
 from repro.service.queue import JobQueue
 from repro.service.windows import WindowManager
 from repro.workloads.streams import TimestampedBatch
@@ -103,6 +103,13 @@ class StreamService:
         with vectorised reductions and modeled cycles
         (:mod:`repro.core.fastpath`); ``"cycle"`` ticks the full
         per-cycle simulator for every window shard.
+    backend:
+        Execution backend behind the fleet port
+        (:mod:`repro.service.executor`): ``"inline"`` (default) runs
+        the K workers as threads in this process — deterministic and
+        replay safe; ``"process"`` runs them as warm, pre-forked
+        subprocesses that escape the GIL for multi-core wall-time
+        scaling.  Results are bit-identical across backends.
     adaptive:
         Enable the :mod:`repro.control` control plane: the balancer
         stops replanning reflexively on every window and an
@@ -147,6 +154,7 @@ class StreamService:
         max_cycles_per_segment: int = 20_000_000,
         allowed_lateness: float = 0.0,
         engine: str = "fast",
+        backend: str = "inline",
         adaptive: bool = False,
         slo: Optional[float] = None,
         control: Optional[ControlPolicy] = None,
@@ -157,6 +165,7 @@ class StreamService:
         self.config = config or ArchitectureConfig(
             lanes=8, pripes=16, secpes=0, reschedule_threshold=0.0)
         self.engine = validate_engine(engine)
+        self.backend = validate_backend(backend)
         if isinstance(balancer, str):
             balancer = make_balancer(balancer, workers)
         if balancer.workers != workers:
@@ -189,7 +198,8 @@ class StreamService:
         self._jobs: Dict[str, Job] = {}
         self._jobs_lock = threading.RLock()
         self._terminal: "OrderedDict[str, None]" = OrderedDict()
-        self._pool = WorkerPool(workers, self._make_session, self.metrics)
+        self._pool = make_backend(self.backend, workers,
+                                  self._session_spec, self.metrics)
         self._controller: Optional[AdaptiveController] = None
         if adaptive:
             if not isinstance(self.balancer, SkewAwareBalancer):
@@ -527,13 +537,20 @@ class StreamService:
                 purged += 1
         return purged
 
-    def _make_session(self, job_id: str) -> StreamingSession:
+    def _session_spec(self, job_id: str) -> SessionSpec:
+        """Picklable per-job session recipe for the execution backend.
+
+        The backend port never sees the live :class:`Job` (it holds the
+        source iterator); only this spec crosses it — and, for the
+        process backend, the process boundary.
+        """
         job = self._job(job_id)
-        return StreamingSession(
+        return SessionSpec(
+            app=job.app,
             config=self.config,
-            kernel=kernel_for(job.app, self.config.pripes, job.params),
             max_cycles_per_segment=self.max_cycles_per_segment,
             engine=self.engine,
+            params=job.params,
         )
 
     def _start_job(self, job: Job, other_by_key: bool) -> _ActiveJob:

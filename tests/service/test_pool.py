@@ -1,10 +1,12 @@
 """Worker pool elasticity: resize up/down, session survival, collection."""
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core.config import ArchitectureConfig
-from repro.runtime.session import StreamingSession
+from repro.runtime.session import SegmentOutcome, StreamingSession
 from repro.service.jobs import kernel_for
 from repro.service.metrics import ServiceMetrics
 from repro.service.pool import WorkItem, WorkerPool
@@ -117,5 +119,129 @@ class TestResize:
             pool.dispatch(1, WorkItem("job", batch_of([9, 9])))
             pool.drain()
             assert pool.collect("job").total_tuples == 2
+        finally:
+            pool.stop()
+
+
+class _BlockingSession:
+    """Session stub that parks its worker until released."""
+
+    def __init__(self, release):
+        self.release = release
+        self.history = []
+
+    def process(self, batch):
+        self.release.wait()
+        return SegmentOutcome(index=0, tuples=len(batch), cycles=1,
+                              tuples_per_cycle=float(len(batch)),
+                              plans=0, reschedules=0)
+
+
+class TestHungShutdown:
+    """Regression: a timed-out stop() must leave a restartable pool.
+
+    The old code raised before clearing ``_started``, so after a hang
+    ``start()`` was a silent no-op and ``dispatch()`` kept feeding the
+    half-dead fleet.
+    """
+
+    def make_sticky_pool(self, release, workers=2):
+        config = ArchitectureConfig(lanes=8, pripes=16, secpes=0,
+                                    reschedule_threshold=0.0)
+
+        def factory(job_id):
+            if job_id == "stuck":
+                return _BlockingSession(release)
+            return StreamingSession(config=config,
+                                    kernel=kernel_for("histo", 16),
+                                    engine="fast")
+
+        return WorkerPool(workers, factory, ServiceMetrics(),
+                          join_timeout=0.2)
+
+    def test_hung_stop_raises_but_leaves_pool_restartable(self):
+        release = threading.Event()
+        pool = self.make_sticky_pool(release)
+        pool.start()
+        pool.dispatch(0, WorkItem("stuck", batch_of([1])))
+        with pytest.raises(RuntimeError, match="did not stop"):
+            pool.stop()
+        try:
+            # The failed shutdown marked the pool stopped...
+            with pytest.raises(RuntimeError, match="not running"):
+                pool.dispatch(0, WorkItem("job", batch_of([1])))
+            # ...so a restart mints fresh workers and serves normally.
+            pool.start()
+            pool.dispatch(0, WorkItem("job", batch_of([4, 4])))
+            pool.drain()
+            assert pool.collect("job").total_tuples == 2
+        finally:
+            release.set()
+            pool.stop()
+
+    def test_restarted_workers_use_a_fresh_generation(self):
+        release = threading.Event()
+        pool = self.make_sticky_pool(release)
+        pool.start()
+        first_gen = pool._workers[0].generation
+        pool.dispatch(0, WorkItem("stuck", batch_of([1])))
+        with pytest.raises(RuntimeError, match="did not stop"):
+            pool.stop()
+        try:
+            pool.start()
+            # The abandoned hung thread keeps its old generation key, so
+            # its late writes can never collide with the replacements'.
+            assert all(w.generation > first_gen for w in pool._workers)
+        finally:
+            release.set()
+            pool.stop()
+
+
+class TestWorkerIdReuse:
+    """Regression: shrink-then-grow must not resurrect old sessions.
+
+    A removed worker's retained partial was keyed ``(worker_id,
+    job_id)``, so a new worker minted with the same id silently adopted
+    it — double-counting the partial if the job later collected, or
+    cross-wiring two jobs' shards.  Generation tagging pins this.
+    """
+
+    def test_regrown_worker_id_gets_a_fresh_session(self):
+        pool, _ = make_pool(3)
+        pool.start()
+        try:
+            pool.dispatch(2, WorkItem("job", batch_of([7] * 5)))
+            pool.drain()
+            pool.resize(2)  # worker 2 removed; its partial is retained
+            pool.resize(3)  # a new worker 2, under a new generation
+            pool.dispatch(2, WorkItem("job", batch_of([9] * 4)))
+            pool.drain()
+            owned = sorted(key for key in pool._sessions
+                           if key[2] == "job")
+            # Two distinct sessions for worker id 2 — the retained
+            # partial and the new worker's — not one shared one.
+            assert [key[0] for key in owned] == [2, 2]
+            assert owned[0][1] < owned[1][1]
+            merged = pool.collect("job")
+            assert merged.total_tuples == 9
+            golden = kernel_for("histo", 16).golden(
+                np.asarray([7] * 5 + [9] * 4, dtype=np.uint64),
+                np.zeros(9, dtype=np.int64))
+            assert np.array_equal(merged.result, golden)
+        finally:
+            pool.stop()
+
+    def test_grow_never_adopts_other_jobs_partials(self):
+        pool, _ = make_pool(3)
+        pool.start()
+        try:
+            pool.dispatch(2, WorkItem("job-a", batch_of([3, 3])))
+            pool.drain()
+            pool.resize(2)
+            pool.resize(3)
+            pool.dispatch(2, WorkItem("job-b", batch_of([8])))
+            pool.drain()
+            assert pool.collect("job-a").total_tuples == 2
+            assert pool.collect("job-b").total_tuples == 1
         finally:
             pool.stop()

@@ -130,6 +130,24 @@ class TestServeSubmit:
         assert code == 0
         assert "status=completed" in capsys.readouterr().out
 
+    def test_serve_process_backend(self, capsys):
+        code = main([
+            "serve", "--demo", "--tuples", "4000", "--workers", "2",
+            "--backend", "process",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 4 jobs" in out
+        assert "process backend" in out
+
+    def test_submit_process_backend(self, capsys):
+        code = main([
+            "submit", "--app", "histo", "--tuples", "4000",
+            "--backend", "process",
+        ])
+        assert code == 0
+        assert "status=completed" in capsys.readouterr().out
+
 
 class TestNetworkCLI:
     def test_ingest_serves_submit_connect_round_trip(self, tmp_path,
