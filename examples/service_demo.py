@@ -28,6 +28,13 @@ inline worker threads and once on warm pre-forked worker subprocesses
 (`backend="process"`), producing the golden histogram bit for bit both
 times — the process fleet is the multi-core wall-time path.
 
+Act seven turns the lights on: an adaptive multi-tenant burst runs
+with structured tracing enabled (`repro.obs`), the captured trace is
+tailed, and the per-tenant stage-latency breakdown (queue / dispatch /
+execute / merge) plus the control plane's decision audit log are
+rendered straight from the events — the same analysis `repro trace`
+runs on a JSONL capture.
+
 Run:  python examples/service_demo.py
 """
 
@@ -215,6 +222,57 @@ def main() -> None:
     print(f"  warm subprocesses    : {times['process']:.2f}s wall "
           f"({times['inline'] / times['process']:.2f}x)")
     print("  both backends produce the golden histogram bit for bit")
+
+    # Act seven: the same adaptive multi-tenant burst, but traced.
+    # Every layer emits structured events into one collector — job
+    # lifecycle spans stamped with the deterministic dispatch clock,
+    # the controller's drift/replan verdicts with their regime inputs,
+    # and backend fork/drain — and the analysis below is exactly what
+    # `repro trace capture.jsonl --decisions` prints offline.
+    from repro.control import ControlPolicy as _Policy
+    from repro.obs import (
+        TraceCollector,
+        decision_log,
+        render_breakdown,
+        stage_breakdown,
+    )
+
+    tracer = TraceCollector(enabled=True)
+    fleet = StreamService(workers=WORKERS, balancer="skew",
+                          adaptive=True, slo=2.0,
+                          control=_Policy(reschedule_cost_cycles=cost),
+                          tracer=tracer)
+    fleet.register_tenant(TenantSpec("interactive", weight=3.0,
+                                     slo_delay_tuples=30_000))
+    fleet.register_tenant(TenantSpec("batch", weight=1.0))
+    for seed in range(4):
+        fleet.submit("histo", zipf_source(1.5, 8_000, seed=seed),
+                     priority=5, window_seconds=WINDOW,
+                     tenant_id="batch")
+    fleet.submit("histo", arrival_stream(evolving()),
+                 window_seconds=WINDOW, tenant_id="batch")
+    for seed in range(3):
+        fleet.submit("hll", zipf_source(0.8, 8_000, seed=100 + seed),
+                     window_seconds=WINDOW, tenant_id="interactive")
+    fleet.run()
+    fleet.shutdown()
+
+    events = tracer.events()
+    print(f"\ntraced burst: {tracer.describe()}")
+    print("  last events in the capture:")
+    for event in events[-3:]:
+        print(f"    {event.to_json()}")
+    print("\nper-tenant stage latency (queue/dispatch in clock tuples, "
+          "execute in cycles, merge in ms):")
+    print(render_breakdown(stage_breakdown(events)))
+    decisions = decision_log(events)
+    print(f"\ncontrol decision audit log ({len(decisions)} entries, "
+          "first 6):")
+    for entry in decisions[:6]:
+        detail = " ".join(f"{k}={v}" for k, v in entry.items()
+                          if k not in ("kind", "clock", "tenant_id")
+                          and v is not None)
+        print(f"  @{entry['clock']:<8} {entry['kind']:<16} {detail}")
 
 
 if __name__ == "__main__":

@@ -29,6 +29,14 @@ Commands
     connect with the newline-delimited JSON protocol (``repro submit
     --connect``, or :class:`repro.net.StreamClient`) and stream batches
     under credit-based backpressure.
+``trace``
+    Analyze a JSONL trace captured with ``--trace FILE``: tail events,
+    filter by tenant or kind, and print the per-tenant stage-latency
+    breakdown (queue / dispatch / execute / merge) plus the control
+    plane's decision audit log.
+``stats``
+    Fetch a running gateway's telemetry snapshot over TCP, as the raw
+    JSON snapshot or the Prometheus text exposition.
 """
 
 from __future__ import annotations
@@ -198,17 +206,32 @@ def _service_for(args: argparse.Namespace):
     if args.tenant is None and (args.weight != 1.0
                                 or args.tenant_slo is not None):
         raise SystemExit("--weight/--tenant-slo require --tenant")
+    tracer = None
+    if getattr(args, "trace", None):
+        from repro.obs import JsonlSink, TraceCollector
+
+        tracer = TraceCollector(enabled=True)
+        tracer.add_sink(JsonlSink(args.trace))
     service = StreamService(workers=args.workers, balancer=args.balancer,
                             engine=args.engine, backend=args.backend,
                             adaptive=args.adaptive, slo=args.slo,
                             reschedule_cost_cycles=args.reschedule_cost,
                             scheduler=args.scheduler,
-                            retained_jobs=args.retain_jobs)
+                            retained_jobs=args.retain_jobs,
+                            tracer=tracer)
     if args.tenant is not None:
         service.register_tenant(TenantSpec(
             args.tenant, weight=args.weight,
             slo_delay_tuples=args.tenant_slo))
     return service
+
+
+def _finish_trace(service, args: argparse.Namespace) -> None:
+    """Flush and report the ``--trace`` capture file, if one was set."""
+    if not getattr(args, "trace", None):
+        return
+    service.tracer.close()
+    print(f"trace: wrote {service.tracer.emitted} events to {args.trace}")
 
 
 def _zipf_source(app: str, alpha: float, tuples: int, seed: int,
@@ -294,6 +317,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     failed = any(service.poll(job_id)["status"] != "completed"
                  for job_id in jobs)
     service.shutdown()
+    _finish_trace(service, args)
     return 1 if failed else 0
 
 
@@ -338,6 +362,7 @@ def cmd_ingest(args: argparse.Namespace) -> int:
     print()
     print(service.metrics.render())
     service.shutdown()
+    _finish_trace(service, args)
     return 1 if failed else 0
 
 
@@ -345,12 +370,10 @@ def _submit_over_wire(args: argparse.Namespace, params) -> int:
     """The ``submit --connect`` path: stream the job to a gateway."""
     from repro.net import StreamClient
 
-    host, _, port_text = args.connect.rpartition(":")
-    if not host or not port_text.isdigit():
-        raise SystemExit(f"--connect expects HOST:PORT, got {args.connect!r}")
+    host, port = _parse_connect(args.connect)
     source = _zipf_source(args.app, args.alpha, args.tuples, args.seed,
                           vertices=args.vertices)
-    with StreamClient(host, int(port_text),
+    with StreamClient(host, port,
                       tenant=args.tenant or "default") as client:
         job_id = client.submit_stream(
             args.app, source,
@@ -391,7 +414,79 @@ def cmd_submit(args: argparse.Namespace) -> int:
     print(service.metrics.render())
     failed = service.poll(job_id)["status"] != "completed"
     service.shutdown()
+    _finish_trace(service, args)
     return 1 if failed else 0
+
+
+def _parse_connect(text: str):
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SystemExit(f"--connect expects HOST:PORT, got {text!r}")
+    return host, int(port_text)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Analyze a JSONL trace capture (tail, breakdown, decisions)."""
+    from repro.obs import (
+        decision_log,
+        read_jsonl,
+        render_breakdown,
+        stage_breakdown,
+    )
+
+    try:
+        events = read_jsonl(args.file)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    if args.kind:
+        prefix = args.kind if args.kind.endswith(".") else None
+        events = [e for e in events
+                  if (e.kind.startswith(prefix) if prefix
+                      else e.kind == args.kind)]
+    if args.tenant:
+        events = [e for e in events
+                  if e.tenant_id in (None, args.tenant)]
+    print(f"{len(events)} events from {args.file}")
+    if args.tail:
+        print()
+        for event in events[-args.tail:]:
+            print(event.to_json())
+    breakdown = stage_breakdown(events, tenant_id=args.tenant)
+    if breakdown:
+        print()
+        print(render_breakdown(breakdown))
+    if args.decisions:
+        decisions = decision_log(events)
+        print()
+        print(f"control decisions ({len(decisions)}):")
+        for entry in decisions:
+            detail = " ".join(
+                f"{key}={value}" for key, value in entry.items()
+                if key not in ("kind", "clock", "tenant_id")
+                and value is not None)
+            tenant = f" tenant={entry['tenant_id']}" \
+                if entry["tenant_id"] else ""
+            print(f"  @{entry['clock']:<10} {entry['kind']:<16}"
+                  f"{tenant} {detail}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Fetch a running gateway's telemetry snapshot over TCP."""
+    import json
+
+    from repro.net import StreamClient
+
+    host, port = _parse_connect(args.connect)
+    with StreamClient(host, port, tenant=args.tenant or "default") \
+            as client:
+        payload = client.stats(format=args.format)
+    if args.format == "prometheus":
+        print(payload, end="")
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -508,6 +603,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bounded retention of finished jobs "
                             "(default: keep all in-process; the ingest "
                             "gateway defaults to 1024)")
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="capture a structured JSONL trace of the "
+                            "run (job lifecycle, control decisions, "
+                            "gateway and backend events) for `repro "
+                            "trace` analysis")
 
     p = sub.add_parser("serve", help="run the stream-serving fleet")
     add_service_options(p)
@@ -550,6 +650,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write 'HOST PORT' here once listening "
                         "(for scripts and tests)")
     p.set_defaults(func=cmd_ingest)
+
+    p = sub.add_parser("trace",
+                       help="analyze a captured JSONL trace")
+    p.add_argument("file", help="JSONL capture from --trace FILE")
+    p.add_argument("--tenant", default=None,
+                   help="restrict the breakdown (and tail) to one "
+                        "tenant's jobs")
+    p.add_argument("--kind", default=None,
+                   help="event-kind filter: a full name (job.segment) "
+                        "or a layer prefix (control.)")
+    p.add_argument("--tail", type=positive(int), default=None,
+                   metavar="N", help="print the last N matching events "
+                                     "as raw JSON")
+    p.add_argument("--decisions", action="store_true",
+                   help="print the control plane's decision audit log")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("stats",
+                       help="fetch telemetry from a running gateway")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="address of a running `repro ingest` gateway")
+    p.add_argument("--format", default="json",
+                   choices=["json", "prometheus"],
+                   help="raw snapshot JSON or the Prometheus text "
+                        "exposition")
+    p.add_argument("--tenant", default=None,
+                   help="tenant to authenticate as")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 

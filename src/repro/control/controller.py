@@ -37,6 +37,8 @@ from repro.control.detector import DriftDetector, total_variation
 from repro.control.plan_cache import PlanCache
 from repro.control.replanner import CostAwareReplanner, ReplanDecision
 from repro.core.profiler import greedy_secpe_plan
+from repro.obs import events as trace_events
+from repro.obs.collector import TraceCollector
 
 
 @dataclass(frozen=True)
@@ -95,6 +97,12 @@ class AdaptiveController:
     slo:
         Cycles-per-tuple SLO enabling the autoscaler; None disables
         elastic sizing (drift control still runs).
+    tracer:
+        Optional :class:`~repro.obs.collector.TraceCollector`; every
+        control decision (drift, replan/hold/freeze with its regime
+        inputs, plan adoption with cache outcome, autoscaler resizes
+        with their reason) is emitted as an audit-log event.  Disabled
+        collector by default.
     """
 
     def __init__(
@@ -104,10 +112,13 @@ class AdaptiveController:
         metrics,
         policy: Optional[ControlPolicy] = None,
         slo: Optional[float] = None,
+        tracer: Optional[TraceCollector] = None,
     ) -> None:
         self.balancer = balancer
         self.pool = pool
         self.metrics = metrics
+        self.tracer = tracer if tracer is not None else TraceCollector(
+            enabled=False)
         self.policy = policy or ControlPolicy()
         if self.policy.reschedule_cost_cycles is None:
             raise ValueError(
@@ -193,7 +204,15 @@ class AdaptiveController:
                 self.metrics.record_control(drift=1)
                 interval = self.tuples - self._tuples_at_last_drift
                 self._tuples_at_last_drift = self.tuples
-                if self._drift_has_settled(histogram):
+                settled = self._drift_has_settled(histogram)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        trace_events.CONTROL_DRIFT,
+                        tenant_id=tenant_id,
+                        interval_tuples=interval,
+                        windows_since_rebase=report.windows_since_rebase,
+                        settled=settled)
+                if settled:
                     # The stream moved once and is now holding still at
                     # a new distribution: every window drifts vs the
                     # stale reference, but window-to-window the load is
@@ -214,6 +233,15 @@ class AdaptiveController:
                 else:
                     self.metrics.record_control(suppressed=1)
                     action = "hold"
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        trace_events.CONTROL_DECISION,
+                        tenant_id=tenant_id,
+                        decision=action,
+                        interval_tuples=interval,
+                        windows_since_rebase=report.windows_since_rebase,
+                        settled=settled,
+                        window=self.windows)
             else:
                 self._settled_drift_windows = 0
         self._previous_histogram = histogram
@@ -316,6 +344,16 @@ class AdaptiveController:
             plan_age=None if initial else plan_age,
             tenant=tenant_id,
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                trace_events.CONTROL_PLAN,
+                tenant_id=tenant_id,
+                cache_hit=hit,
+                initial=initial,
+                plan_age_windows=None if initial else plan_age,
+                stall_cycles=0 if initial else cost,
+                namespace=self._cache_namespace(),
+                window=self.windows)
 
     # ------------------------------------------------------------------
     # Elastic sizing
@@ -352,6 +390,16 @@ class AdaptiveController:
         if decision.size == self.pool.size:
             return
         growing = decision.size > self.pool.size
+        if self.tracer.enabled:
+            self.tracer.emit(
+                trace_events.CONTROL_RESIZE,
+                size_from=self.pool.size,
+                size_to=decision.size,
+                reason=decision.reason,
+                observed_cycles_per_tuple=(
+                    decision.observed_cycles_per_tuple),
+                slo_pressure=pressure,
+                window=self.windows)
         if growing:
             # Start the new workers before routing can reach them.
             self.pool.resize(decision.size)

@@ -48,6 +48,20 @@ ENGINES = ("fast", "cycle")
 #: the residual is well under the 10% equivalence tolerance).
 PIPELINE_FILL_CYCLES = 10
 
+#: Optional per-segment telemetry hook: ``None`` (the common case —
+#: a single attribute read on the hot path) or a callable receiving one
+#: dict per :func:`run_fast` call.  Installed by
+#: :mod:`repro.obs` consumers via :func:`set_trace_hook`; kept a plain
+#: module global rather than a TraceCollector so the core layer has no
+#: import-time dependency on the observability package.
+TRACE_HOOK = None
+
+
+def set_trace_hook(hook) -> None:
+    """Install (or with ``None`` remove) the fast-path segment hook."""
+    global TRACE_HOOK
+    TRACE_HOOK = hook
+
 
 def validate_engine(engine: str) -> str:
     """Return ``engine`` or raise on an unknown name."""
@@ -156,6 +170,14 @@ def run_fast(config: ArchitectureConfig, kernel: KernelSpec,
     cycles, plans, reschedules = modeled_cycles(config, destinations)
     counts = np.bincount(destinations, minlength=config.pripes)
     final_plan = plans[-1] if plans else None
+    if TRACE_HOOK is not None:
+        TRACE_HOOK({
+            "tuples": len(batch),
+            "cycles": cycles,
+            "max_pe_load": int(counts.max()),
+            "plans": len(plans),
+            "reschedules": reschedules,
+        })
     report = SimulationReport(
         cycles=cycles,
         completed=True,

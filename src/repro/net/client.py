@@ -251,3 +251,17 @@ class StreamClient:
         reply = self._raise_on_error(
             self._request({"type": "cancel", "job_id": job_id}))
         return bool(reply["cancelled"])
+
+    def stats(self, format: str = "json") -> Any:
+        """The service's telemetry snapshot (protocol >= 2).
+
+        ``format="json"`` (default) returns the raw
+        :meth:`~repro.service.metrics.ServiceMetrics.snapshot` dict;
+        ``format="prometheus"`` returns the text exposition a
+        Prometheus scraper parses.
+        """
+        reply = self._raise_on_error(
+            self._request({"type": "stats", "format": format}))
+        if format == "prometheus":
+            return reply["body"]
+        return reply["snapshot"]

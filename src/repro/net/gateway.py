@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.net import protocol
 from repro.net.buffer import IngestBuffer
+from repro.obs import events as trace_events
 from repro.service.jobs import DEFAULT_TENANT, QuotaExceededError
 from repro.service.server import StreamService
 
@@ -134,6 +135,10 @@ class StreamGateway:
             raise ValueError("max_line_bytes must be positive")
         self.service = service
         self.metrics = service.metrics
+        # The service's collector: gateway wire events land in the same
+        # trace as the dispatcher's job spans and the control plane's
+        # decisions.
+        self.tracer = service.tracer
         self.high_water = high_water
         self.tokens = tokens
         self.result_timeout = result_timeout
@@ -207,9 +212,14 @@ class StreamGateway:
         with self._conn_lock:
             connections = list(self._connections)
         for conn in connections:
-            for buffer in conn.buffers.values():
+            for job_id, buffer in conn.buffers.items():
                 if not buffer.closed:
                     buffer.abort("gateway stopping")
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            trace_events.GATEWAY_ABORT,
+                            job_id=job_id, tenant_id=conn.tenant,
+                            reason="gateway stopping")
             try:
                 conn.sock.shutdown(socket.SHUT_RDWR)
             except OSError:
@@ -322,9 +332,14 @@ class StreamGateway:
             # A vanished client must not leave the dispatcher waiting on
             # a stream that will never end: abort still-open streams so
             # their jobs fail through the normal source-error path.
-            for buffer in conn.buffers.values():
+            for job_id, buffer in conn.buffers.items():
                 if not buffer.closed:
                     buffer.abort("client connection lost")
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            trace_events.GATEWAY_ABORT,
+                            job_id=job_id, tenant_id=conn.tenant,
+                            reason="client connection lost")
             if conn.tenant is not None:
                 self._gate(conn.tenant).notify()
             with self._conn_lock:
@@ -362,6 +377,7 @@ class StreamGateway:
             "poll": self._on_poll,
             "result": self._on_result,
             "cancel": self._on_cancel,
+            "stats": self._on_stats,
         }
         handler = handlers.get(kind)
         if handler is None:
@@ -386,9 +402,16 @@ class StreamGateway:
         if self.tokens is not None:
             expected = self.tokens.get(tenant)
             if expected is None or message.get("token") != expected:
+                if self.tracer.enabled:
+                    self.tracer.emit(trace_events.GATEWAY_HELLO,
+                                     tenant_id=tenant, accepted=False)
                 return {"type": "error", "code": "auth",
                         "error": f"bad credentials for tenant {tenant!r}"}
         conn.tenant = tenant
+        if self.tracer.enabled:
+            self.tracer.emit(trace_events.GATEWAY_HELLO,
+                             tenant_id=tenant, accepted=True,
+                             credits=self._credits(tenant))
         return {
             "type": "welcome",
             "protocol": protocol.PROTOCOL_VERSION,
@@ -462,9 +485,19 @@ class StreamGateway:
             # a credit wait or to accept the loss.
             self.metrics.record_gateway(shed=1)
             self.metrics.sample_ingest_depth(depth)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    trace_events.GATEWAY_SHED,
+                    job_id=job_id, tenant_id=conn.tenant,
+                    tuples=len(batch), depth=depth)
             return {"type": "busy", "job_id": job_id, "credits": 0}
         self.metrics.record_gateway(batches=1, tuples=len(batch))
         self.metrics.sample_ingest_depth(depth)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                trace_events.GATEWAY_BATCH,
+                job_id=job_id, tenant_id=conn.tenant,
+                tuples=len(batch), depth=depth)
         credits = (protocol.UNLIMITED_CREDITS if self.high_water is None
                    else max(0, self.high_water - depth))
         return {"type": "ack", "job_id": job_id, "credits": credits}
@@ -492,6 +525,10 @@ class StreamGateway:
                 if not stalled:
                     stalled = True
                     self.metrics.record_gateway(stalls=1)
+                    if self.tracer.enabled:
+                        self.tracer.emit(trace_events.GATEWAY_STALL,
+                                         tenant_id=conn.tenant,
+                                         high_water=self.high_water)
                 gate.cond.wait(timeout=POLL_INTERVAL * 10)
         return {"type": "credit", "credits": self._credits(conn.tenant)}
 
@@ -563,7 +600,34 @@ class StreamGateway:
                 # drops them and the gate forgets the stream.
                 buffer.abort("job cancelled")
                 self._gate(conn.tenant).notify()
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        trace_events.GATEWAY_ABORT,
+                        job_id=job_id, tenant_id=conn.tenant,
+                        reason="job cancelled")
         return {"type": "ack", "job_id": job_id, "cancelled": cancelled}
+
+    def _on_stats(self, conn: _Connection,
+                  message: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve the service's telemetry snapshot over the wire.
+
+        ``format: "prometheus"`` returns the text exposition (the
+        scrape endpoint — point a Prometheus file/exec probe, or
+        ``repro stats``, at it); the default ``"json"`` returns the raw
+        :meth:`ServiceMetrics.snapshot` dict.  Either way the numbers
+        come from one consistent snapshot.
+        """
+        fmt = message.get("format", "json")
+        if fmt == "prometheus":
+            return {"type": "stats", "format": "prometheus",
+                    "body": self.service.metrics.to_prometheus()}
+        if fmt != "json":
+            self.metrics.record_gateway(errors=1)
+            return {"type": "error", "code": "bad-request",
+                    "error": f"unknown stats format {fmt!r} "
+                             "(json | prometheus)"}
+        return {"type": "stats", "format": "json",
+                "snapshot": self.service.metrics.snapshot()}
 
     # ------------------------------------------------------------------
     # Credit accounting

@@ -34,6 +34,12 @@ Client -> server messages (``type`` field):
     ``result {...}`` or ``error``.
 ``cancel``
     ``{job_id}`` — withdraw a queued job.  Reply: ``ack {cancelled}``.
+``stats``
+    ``{format?}`` — the service's telemetry snapshot (protocol >= 2).
+    ``format="json"`` (default) replies ``stats {snapshot}`` with the
+    raw :meth:`ServiceMetrics.snapshot` dict; ``format="prometheus"``
+    replies ``stats {body}`` with the text exposition a Prometheus
+    scraper parses.  Requires ``hello`` first, like every other verb.
 ``bye``
     close the connection cleanly.  Reply: ``ack``.
 
@@ -52,7 +58,9 @@ from repro.workloads.streams import TimestampedBatch
 from repro.workloads.tuples import TupleBatch
 
 #: Protocol revision carried in the ``welcome`` reply.
-PROTOCOL_VERSION = 1
+#: 2 added the ``stats`` telemetry verb (additive — a v1 client's
+#: messages are all still valid).
+PROTOCOL_VERSION = 2
 
 #: Hard cap on one wire line; a line beyond this is a protocol error
 #: (guards the gateway against unbounded memory from one client).

@@ -1,0 +1,224 @@
+"""Prometheus text exposition of :class:`ServiceMetrics` snapshots.
+
+:func:`to_prometheus` flattens the nested snapshot dict into the
+Prometheus text format (version 0.0.4): one ``# HELP``/``# TYPE`` pair
+per metric family, label sets for per-tenant / per-worker / quantile
+series, and plain ``name{labels} value`` sample lines.  External
+scrapers reach it through the gateway's ``stats`` wire verb
+(:mod:`repro.net.protocol`) or ``ServiceMetrics.to_prometheus()``
+directly.
+
+:func:`parse_prometheus` is the matching line-format parser — used by
+the test suite to assert the exposition is well-formed, and by
+:class:`~repro.net.client.StreamClient` consumers that want samples as
+a dict instead of text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple
+
+#: Prometheus metric/label name rule.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: One sample line: name, optional {labels}, value.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$")
+
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+class _Exposition:
+    """Accumulates families and samples in exposition order."""
+
+    def __init__(self, prefix: str = "repro") -> None:
+        self.prefix = prefix
+        self.lines: List[str] = []
+        self._seen: set = set()
+
+    def family(self, name: str, help_text: str, kind: str) -> str:
+        full = f"{self.prefix}_{name}"
+        if not _NAME_RE.match(full):
+            raise ValueError(f"bad metric name {full!r}")
+        if full not in self._seen:
+            self._seen.add(full)
+            self.lines.append(f"# HELP {full} {help_text}")
+            self.lines.append(f"# TYPE {full} {kind}")
+        return full
+
+    def sample(self, name: str, help_text: str, kind: str, value: Any,
+               labels: Dict[str, Any] = None) -> None:
+        full = self.family(name, help_text, kind)
+        if labels:
+            rendered = ",".join(
+                f'{key}="{_escape_label(val)}"'
+                for key, val in labels.items())
+            self.lines.append(f"{full}{{{rendered}}} {_format(value)}")
+        else:
+            self.lines.append(f"{full} {_format(value)}")
+
+    def render(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _format(value: Any) -> str:
+    number = float(value)
+    if number.is_integer() and abs(number) < 2 ** 53:
+        return str(int(number))
+    return repr(number)
+
+
+def _quantiles(exp: _Exposition, name: str, help_text: str,
+               section: Dict[str, Any],
+               labels: Dict[str, Any] = None) -> None:
+    """A p50/p95 summary section as quantile-labelled samples."""
+    for quantile, key in (("0.5", "p50"), ("0.95", "p95")):
+        exp.sample(name, help_text, "summary", section.get(key, 0.0),
+                   {**(labels or {}), "quantile": quantile})
+    exp.sample(f"{name}_peak", f"Peak of {help_text}", "gauge",
+               section.get("peak", 0), labels)
+    exp.sample(f"{name}_samples", f"Retained samples of {help_text}",
+               "gauge", section.get("samples", 0), labels)
+
+
+def to_prometheus(snapshot: Dict[str, Any], prefix: str = "repro") -> str:
+    """Render one :meth:`ServiceMetrics.snapshot` dict as Prometheus text.
+
+    Every numeric leaf of the snapshot appears as a sample; dict
+    sections keyed by tenant / worker become label dimensions, and
+    p50/p95 ring-buffer sections become ``quantile``-labelled summary
+    samples.
+    """
+    exp = _Exposition(prefix)
+    jobs = snapshot.get("jobs", {})
+    for state in ("submitted", "completed", "failed", "cancelled"):
+        exp.sample("jobs_total", "Jobs by terminal/ingress state",
+                   "counter", jobs.get(state, 0), {"state": state})
+    exp.sample("windows_closed_total", "Event-time windows closed",
+               "counter", snapshot.get("windows_closed", 0))
+    exp.sample("tuples_windowed_total",
+               "Tuples dispatched through closed windows (the "
+               "deterministic dispatch clock)", "counter",
+               snapshot.get("tuples_windowed", 0))
+    exp.sample("late_tuples_total", "Tuples dropped as late", "counter",
+               snapshot.get("late_tuples", 0))
+    exp.sample("worker_tuples_processed_total",
+               "Tuples processed across the fleet", "counter",
+               snapshot.get("total_tuples", 0))
+    exp.sample("busiest_worker_cycles", "Cycles of the busiest worker",
+               "gauge", snapshot.get("busiest_worker_cycles", 0))
+    exp.sample("makespan_cycles",
+               "Fleet completion time in simulated cycles", "gauge",
+               snapshot.get("makespan_cycles", 0))
+    exp.sample("fleet_throughput_tuples_per_cycle",
+               "Fleet tuples per cycle", "gauge",
+               snapshot.get("fleet_throughput", 0.0))
+    exp.sample("rebalances_total", "Fleet plan changes", "counter",
+               snapshot.get("rebalances", 0))
+    _quantiles(exp, "queue_depth", "Job-queue depth",
+               snapshot.get("queue_depth", {}))
+
+    for worker_id, stats in sorted(snapshot.get("workers", {}).items()):
+        labels = {"worker": worker_id}
+        exp.sample("worker_segments_total", "Segments per worker",
+                   "counter", stats.get("segments", 0), labels)
+        exp.sample("worker_tuples_total", "Tuples per worker", "counter",
+                   stats.get("tuples", 0), labels)
+        exp.sample("worker_cycles_total", "Cycles per worker", "counter",
+                   stats.get("cycles", 0), labels)
+
+    gateway = snapshot.get("gateway", {})
+    for key, help_text in (
+        ("connections_opened", "Gateway connections accepted"),
+        ("connections_closed", "Gateway connections closed"),
+        ("bytes_received", "Gateway bytes received"),
+        ("bytes_sent", "Gateway bytes sent"),
+        ("batches_ingested", "Batches buffered by the gateway"),
+        ("tuples_ingested", "Tuples ingested over the wire"),
+        ("batches_shed", "Batches dropped with a busy reply"),
+        ("credit_stalls", "Well-behaved client credit stalls"),
+        ("protocol_errors", "Wire protocol errors"),
+    ):
+        exp.sample(f"gateway_{key}_total", help_text, "counter",
+                   gateway.get(key, 0))
+    _quantiles(exp, "gateway_ingest_depth",
+               "Per-tenant buffered-batch depth",
+               gateway.get("ingest_depth", {}))
+
+    control = snapshot.get("control", {})
+    for key, help_text in (
+        ("drift_events", "Drift detections"),
+        ("replans_applied", "Replans applied"),
+        ("replans_suppressed", "Replans suppressed (hold/freeze)"),
+        ("plan_cache_hits", "Plan cache hits"),
+        ("plan_cache_misses", "Plan cache misses"),
+        ("scale_up_events", "Autoscaler grow events"),
+        ("scale_down_events", "Autoscaler shrink events"),
+        ("reschedule_stall_cycles", "Fleet-wide rescheduling stalls"),
+    ):
+        exp.sample(f"control_{key}_total", help_text, "counter",
+                   control.get(key, 0))
+    exp.sample("control_plan_cache_hit_rate",
+               "Plan cache hits over lookups", "gauge",
+               control.get("plan_cache_hit_rate", 0.0))
+    exp.sample("control_plan_age_windows",
+               "Median windows a retired plan served", "gauge",
+               control.get("plan_age_p50", 0.0))
+
+    for tenant_id, stats in sorted(snapshot.get("tenants", {}).items()):
+        labels = {"tenant": tenant_id}
+        for state in ("submitted", "completed", "failed", "cancelled",
+                      "rejected"):
+            exp.sample("tenant_jobs_total", "Per-tenant jobs by state",
+                       "counter", stats.get("jobs", {}).get(state, 0),
+                       {**labels, "state": state})
+        exp.sample("tenant_weight", "Fair-share weight", "gauge",
+                   stats.get("weight", 1.0), labels)
+        exp.sample("tenant_tuples_total", "Per-tenant tuples processed",
+                   "counter", stats.get("tuples", 0), labels)
+        exp.sample("tenant_cycles_total", "Per-tenant cycles consumed",
+                   "counter", stats.get("cycles", 0), labels)
+        exp.sample("tenant_stall_cycles_total",
+                   "Rescheduling stalls charged to the tenant",
+                   "counter", stats.get("stall_cycles", 0), labels)
+        exp.sample("tenant_slo_attainment",
+                   "Fraction of started jobs meeting the queue-delay "
+                   "SLO", "gauge", stats.get("slo_attainment", 1.0),
+                   labels)
+        _quantiles(exp, "tenant_queue_delay",
+                   "Queue delay in dispatch-clock tuples",
+                   stats.get("queue_delay", {}), labels)
+    return exp.render()
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, frozenset], float]:
+    """Parse exposition text into ``{(name, labels): value}``.
+
+    ``labels`` is a frozenset of ``(key, value)`` pairs.  Raises
+    ``ValueError`` on any line that is neither a comment, blank, nor a
+    well-formed sample — which is exactly the acceptance check the
+    tests run against :func:`to_prometheus` output.
+    """
+    samples: Dict[Tuple[str, frozenset], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno} is not a valid sample: "
+                             f"{line!r}")
+        labels = frozenset(
+            (m.group("key"), m.group("value"))
+            for m in _LABEL_RE.finditer(match.group("labels") or ""))
+        samples[(match.group("name"), labels)] = float(
+            match.group("value"))
+    return samples

@@ -150,12 +150,16 @@ def make_backend(
     spec_factory: Callable[[str], SessionSpec],
     metrics,
     join_timeout: float = 60.0,
+    tracer=None,
 ) -> ExecutionBackend:
     """Build the named adapter behind the :class:`ExecutionBackend` port.
 
     ``spec_factory`` maps a job id to its :class:`SessionSpec`; the
     inline adapter builds sessions from it directly, the process adapter
     ships the spec to the owning subprocess on the job's first shard.
+    ``tracer`` is the service's shared
+    :class:`~repro.obs.collector.TraceCollector` (or None for a disabled
+    one) — both adapters emit segment and lifecycle events through it.
     """
     validate_backend(backend)
     if backend == "inline":
@@ -166,8 +170,9 @@ def make_backend(
             lambda job_id: spec_factory(job_id).build(),
             metrics,
             join_timeout=join_timeout,
+            tracer=tracer,
         )
     from repro.service.procpool import ProcessBackend
 
     return ProcessBackend(workers, spec_factory, metrics,
-                          join_timeout=join_timeout)
+                          join_timeout=join_timeout, tracer=tracer)

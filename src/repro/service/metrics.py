@@ -331,13 +331,15 @@ class ServiceMetrics:
                       if within is None or worker < within]
             return max(cycles, default=0)
 
+    def _makespan_locked(self) -> int:
+        busiest = max(
+            (stats.cycles for stats in self.workers.values()), default=0)
+        return busiest + self.reschedule_stall_cycles
+
     def makespan_cycles(self) -> int:
         """Fleet completion time: busiest worker plus fleet-wide stalls."""
         with self._lock:
-            busiest = max(
-                (stats.cycles for stats in self.workers.values()),
-                default=0)
-            return busiest + self.reschedule_stall_cycles
+            return self._makespan_locked()
 
     def fleet_throughput(self) -> float:
         """Fleet tuples per cycle: total work over the busiest worker.
@@ -345,9 +347,14 @@ class ServiceMetrics:
         This is the cluster analogue of the paper's tuples/cycle metric —
         a perfectly balanced fleet of K workers approaches K times one
         pipeline's rate, a skewed one collapses to the hot worker's.
+
+        Numerator and denominator are read under one lock acquisition so
+        the ratio is never computed from two different instants.
         """
-        makespan = self.makespan_cycles()
-        return self.total_tuples() / makespan if makespan else 0.0
+        with self._lock:
+            makespan = self._makespan_locked()
+            total = sum(stats.tuples for stats in self.workers.values())
+        return total / makespan if makespan else 0.0
 
     def imbalance(self) -> float:
         """Max/mean worker cycles (1.0 = perfectly balanced)."""
@@ -365,58 +372,91 @@ class ServiceMetrics:
     def snapshot(self) -> Dict[str, Any]:
         """Point-in-time machine-readable summary of the whole service.
 
+        The whole dict is built under a **single** lock acquisition, so
+        every derived figure (fleet throughput, makespan, imbalance, the
+        per-tenant sections) describes the same instant — composing the
+        public single-metric accessors would let the counters move
+        between reads and tear the snapshot.
+
         Queue depth is reported as percentiles over the retained ring
         buffer (p50/p95), not the raw series — the series is bounded, the
         percentiles are what SLO dashboards plot.
         """
         with self._lock:
-            worker_cycles = [s.cycles for s in self.workers.values()]
-            total_tuples = sum(s.tuples for s in self.workers.values())
-            busiest = max(worker_cycles, default=0)
-            makespan = busiest + self.reschedule_stall_cycles
-            depths = list(self.queue_depth_samples)
-            ages = list(self.plan_ages)
-            snap: Dict[str, Any] = {
-                "jobs": {
-                    "submitted": self.jobs_submitted,
-                    "completed": self.jobs_completed,
-                    "failed": self.jobs_failed,
-                    "cancelled": self.jobs_cancelled,
-                },
-                "windows_closed": self.windows_closed,
-                "tuples_windowed": self.tuples_windowed,
-                "late_tuples": self.late_tuples,
-                "total_tuples": total_tuples,
-                "busiest_worker_cycles": busiest,
-                "makespan_cycles": makespan,
-                "fleet_throughput": (total_tuples / makespan
-                                     if makespan else 0.0),
-                "rebalances": self.rebalances,
-                "queue_depth": {
-                    "p50": _percentile(depths, 50),
-                    "p95": _percentile(depths, 95),
-                    "peak": max(depths, default=0),
-                    "samples": len(depths),
-                },
-                "gateway": self._gateway_snapshot(),
-                "control": {
-                    "drift_events": self.drift_events,
-                    "replans_applied": self.replans_applied,
-                    "replans_suppressed": self.replans_suppressed,
-                    "plan_cache_hits": self.plan_cache_hits,
-                    "plan_cache_misses": self.plan_cache_misses,
-                    "plan_cache_hit_rate": self.plan_cache_hit_rate(),
-                    "scale_up_events": self.scale_up_events,
-                    "scale_down_events": self.scale_down_events,
-                    "reschedule_stall_cycles": self.reschedule_stall_cycles,
-                    "plan_age_p50": _percentile(ages, 50),
-                },
-                "tenants": {
-                    tenant_id: self._tenant_snapshot(stats)
-                    for tenant_id, stats in sorted(self.tenants.items())
-                },
-            }
-        return snap
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> Dict[str, Any]:
+        """Build the snapshot dict (caller holds the lock)."""
+        worker_cycles = [s.cycles for s in self.workers.values()]
+        total_tuples = sum(s.tuples for s in self.workers.values())
+        busiest = max(worker_cycles, default=0)
+        makespan = busiest + self.reschedule_stall_cycles
+        mean_cycles = (sum(worker_cycles) / len(worker_cycles)
+                       if worker_cycles else 0.0)
+        depths = list(self.queue_depth_samples)
+        ages = list(self.plan_ages)
+        return {
+            "jobs": {
+                "submitted": self.jobs_submitted,
+                "completed": self.jobs_completed,
+                "failed": self.jobs_failed,
+                "cancelled": self.jobs_cancelled,
+            },
+            "windows_closed": self.windows_closed,
+            "tuples_windowed": self.tuples_windowed,
+            "late_tuples": self.late_tuples,
+            "total_tuples": total_tuples,
+            "busiest_worker_cycles": busiest,
+            "makespan_cycles": makespan,
+            "fleet_throughput": (total_tuples / makespan
+                                 if makespan else 0.0),
+            "imbalance": (busiest / mean_cycles if mean_cycles else 1.0),
+            "rebalances": self.rebalances,
+            "queue_depth": {
+                "p50": _percentile(depths, 50),
+                "p95": _percentile(depths, 95),
+                "peak": max(depths, default=0),
+                "last": depths[-1] if depths else 0,
+                "samples": len(depths),
+            },
+            "workers": {
+                worker: {
+                    "segments": stats.segments,
+                    "tuples": stats.tuples,
+                    "cycles": stats.cycles,
+                    "tuples_per_cycle": stats.tuples_per_cycle,
+                }
+                for worker, stats in sorted(self.workers.items())
+            },
+            "gateway": self._gateway_snapshot(),
+            "control": {
+                "drift_events": self.drift_events,
+                "replans_applied": self.replans_applied,
+                "replans_suppressed": self.replans_suppressed,
+                "plan_cache_hits": self.plan_cache_hits,
+                "plan_cache_misses": self.plan_cache_misses,
+                "plan_cache_hit_rate": self.plan_cache_hit_rate(),
+                "scale_up_events": self.scale_up_events,
+                "scale_down_events": self.scale_down_events,
+                "reschedule_stall_cycles": self.reschedule_stall_cycles,
+                "plan_age_p50": _percentile(ages, 50),
+            },
+            "tenants": {
+                tenant_id: self._tenant_snapshot(stats)
+                for tenant_id, stats in sorted(self.tenants.items())
+            },
+        }
+
+    def to_prometheus(self) -> str:
+        """This service's state in Prometheus text exposition format.
+
+        One consistent snapshot (single lock acquisition) rendered by
+        :func:`repro.obs.exposition.to_prometheus`; the gateway's
+        ``stats`` verb serves exactly this string.
+        """
+        from repro.obs.exposition import to_prometheus
+
+        return to_prometheus(self.snapshot())
 
     def _gateway_snapshot(self) -> Dict[str, Any]:
         """Gateway section of :meth:`snapshot` (caller holds the lock)."""
@@ -467,84 +507,95 @@ class ServiceMetrics:
         }
 
     def render(self) -> str:
-        """Human-readable summary (the CLI's ``serve`` report)."""
+        """Human-readable summary (the CLI's ``serve`` report).
+
+        Rendered from one :meth:`snapshot`, so every figure in the
+        report — throughput, makespan, the tenant table — describes the
+        same instant even while the service is still dispatching.
+        """
         from repro.analysis.tables import Table
 
+        snap = self.snapshot()
         table = Table(
             ["worker", "segments", "tuples", "cycles", "tuples/cycle"],
             title="Per-worker load",
         )
-        with self._lock:
-            for worker in sorted(self.workers):
-                stats = self.workers[worker]
-                table.add_row([
-                    worker, stats.segments, f"{stats.tuples:,}",
-                    f"{stats.cycles:,}", f"{stats.tuples_per_cycle:.3f}",
-                ])
+        for worker, stats in snap["workers"].items():
+            table.add_row([
+                worker, stats["segments"], f"{stats['tuples']:,}",
+                f"{stats['cycles']:,}",
+                f"{stats['tuples_per_cycle']:.3f}",
+            ])
         lines = [table.render()]
         lines.append(
-            f"fleet throughput : {self.fleet_throughput():.3f} tuples/cycle "
-            f"(makespan {self.makespan_cycles():,} cycles, "
-            f"imbalance {self.imbalance():.2f}x)")
+            f"fleet throughput : {snap['fleet_throughput']:.3f} "
+            f"tuples/cycle "
+            f"(makespan {snap['makespan_cycles']:,} cycles, "
+            f"imbalance {snap['imbalance']:.2f}x)")
         lines.append(
-            f"windows closed   : {self.windows_closed} "
-            f"({self.tuples_windowed:,} tuples)  "
-            f"late tuples: {self.late_tuples}")
+            f"windows closed   : {snap['windows_closed']} "
+            f"({snap['tuples_windowed']:,} tuples)  "
+            f"late tuples: {snap['late_tuples']}")
+        jobs = snap["jobs"]
         lines.append(
-            f"jobs             : {self.jobs_completed} completed / "
-            f"{self.jobs_failed} failed / {self.jobs_cancelled} cancelled "
-            f"of {self.jobs_submitted} submitted")
-        lines.append(f"rebalances       : {self.rebalances}")
-        named = {tid: s for tid, s in self.tenants.items()
-                 if tid != "default" or len(self.tenants) > 1}
+            f"jobs             : {jobs['completed']} completed / "
+            f"{jobs['failed']} failed / {jobs['cancelled']} cancelled "
+            f"of {jobs['submitted']} submitted")
+        lines.append(f"rebalances       : {snap['rebalances']}")
+        tenants = snap["tenants"]
+        named = {tid for tid in tenants
+                 if tid != "default" or len(tenants) > 1}
         if named:
             tenant_table = Table(
                 ["tenant", "weight", "jobs", "tuples", "t/c",
                  "delay p95", "SLO"],
                 title="Per-tenant serving record",
             )
-            for tenant_id in sorted(self.tenants):
-                stats = self.tenants[tenant_id]
-                delays = list(stats.queue_delays)
-                slo = ("-" if stats.slo_delay_tuples is None
-                       else f"{stats.slo_attainment:.0%}")
+            for tenant_id, stats in tenants.items():
+                slo = ("-" if stats["slo_delay_tuples"] is None
+                       else f"{stats['slo_attainment']:.0%}")
                 tenant_table.add_row([
-                    tenant_id, f"{stats.weight:g}",
-                    f"{stats.jobs_completed}/{stats.jobs_submitted}",
-                    f"{stats.tuples:,}",
-                    f"{stats.tuples_per_cycle:.3f}",
-                    f"{_percentile(delays, 95):,.0f}", slo,
+                    tenant_id, f"{stats['weight']:g}",
+                    f"{stats['jobs']['completed']}"
+                    f"/{stats['jobs']['submitted']}",
+                    f"{stats['tuples']:,}",
+                    f"{stats['tuples_per_cycle']:.3f}",
+                    f"{stats['queue_delay']['p95']:,.0f}", slo,
                 ])
             lines.append(tenant_table.render())
-        if self.queue_depth_samples:
-            depths = list(self.queue_depth_samples)
+        depth = snap["queue_depth"]
+        if depth["samples"]:
             lines.append(
-                f"queue depth      : p50 {_percentile(depths, 50):.0f}, "
-                f"p95 {_percentile(depths, 95):.0f}, "
-                f"peak {max(depths)}, last {depths[-1]}")
-        if self.gateway.connections_opened:
-            stats = self.gateway
-            depths = list(stats.ingest_depth_samples)
+                f"queue depth      : p50 {depth['p50']:.0f}, "
+                f"p95 {depth['p95']:.0f}, "
+                f"peak {depth['peak']}, last {depth['last']}")
+        gateway = snap["gateway"]
+        if gateway["connections_opened"]:
             lines.append(
-                f"gateway          : {stats.connections_opened} conns "
-                f"({stats.connections_closed} closed), "
-                f"{stats.batches_ingested} batches "
-                f"({stats.tuples_ingested:,} tuples) in, "
-                f"{stats.batches_shed} shed, "
-                f"{stats.credit_stalls} credit stalls, "
-                f"ingest depth p95 {_percentile(depths, 95):.0f} "
-                f"(peak {max(depths, default=0)}), "
-                f"{stats.bytes_received:,} B in / "
-                f"{stats.bytes_sent:,} B out")
-        if (self.drift_events or self.replans_applied
-                or self.replans_suppressed or self.scale_up_events
-                or self.scale_down_events):
+                f"gateway          : {gateway['connections_opened']} conns "
+                f"({gateway['connections_closed']} closed), "
+                f"{gateway['batches_ingested']} batches "
+                f"({gateway['tuples_ingested']:,} tuples) in, "
+                f"{gateway['batches_shed']} shed, "
+                f"{gateway['credit_stalls']} credit stalls, "
+                f"ingest depth p95 {gateway['ingest_depth']['p95']:.0f} "
+                f"(peak {gateway['ingest_depth']['peak']}), "
+                f"{gateway['bytes_received']:,} B in / "
+                f"{gateway['bytes_sent']:,} B out")
+        control = snap["control"]
+        if (control["drift_events"] or control["replans_applied"]
+                or control["replans_suppressed"]
+                or control["scale_up_events"]
+                or control["scale_down_events"]):
+            lookups = (control["plan_cache_hits"]
+                       + control["plan_cache_misses"])
             lines.append(
-                f"control plane    : {self.drift_events} drift events, "
-                f"{self.replans_applied} replans "
-                f"({self.replans_suppressed} suppressed, "
-                f"cache {self.plan_cache_hits}/"
-                f"{self.plan_cache_hits + self.plan_cache_misses} hit), "
-                f"scale +{self.scale_up_events}/-{self.scale_down_events}, "
-                f"stalls {self.reschedule_stall_cycles:,} cycles")
+                f"control plane    : {control['drift_events']} "
+                f"drift events, "
+                f"{control['replans_applied']} replans "
+                f"({control['replans_suppressed']} suppressed, "
+                f"cache {control['plan_cache_hits']}/{lookups} hit), "
+                f"scale +{control['scale_up_events']}"
+                f"/-{control['scale_down_events']}, "
+                f"stalls {control['reschedule_stall_cycles']:,} cycles")
         return "\n".join(lines)

@@ -30,6 +30,8 @@ import traceback
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs import events as trace_events
+from repro.obs.collector import TraceCollector
 from repro.runtime.session import StreamingSession
 from repro.service.executor import ExecutionBackend
 from repro.service.jobs import DEFAULT_TENANT
@@ -44,12 +46,18 @@ class WorkItem:
     """One worker's shard of one closed window.
 
     ``tenant_id`` rides along so the worker can charge the segment's
-    tuples and cycles to the owning tenant's metrics.
+    tuples and cycles to the owning tenant's metrics.  ``dispatch_clock``
+    is the dispatch-clock reading stamped by the dispatcher thread when
+    the shard was routed — segment trace events carry it instead of a
+    read at completion time, which is what makes their timestamps
+    identical across the inline and process backends (inline workers
+    record mid-dispatch, process children ship ledgers back at drain).
     """
 
     job_id: str
     batch: TupleBatch
     tenant_id: str = DEFAULT_TENANT
+    dispatch_clock: int = 0
 
 
 class _Worker(threading.Thread):
@@ -85,6 +93,13 @@ class _Worker(threading.Thread):
         self.pool.metrics.record_segment(
             self.worker_id, outcome.tuples, outcome.cycles,
             tenant=item.tenant_id)
+        tracer = self.pool.tracer
+        if tracer.enabled:
+            tracer.emit(
+                trace_events.JOB_SEGMENT, item.dispatch_clock,
+                job_id=item.job_id, tenant_id=item.tenant_id,
+                worker=self.worker_id, generation=self.generation,
+                tuples=outcome.tuples, cycles=outcome.cycles)
 
 
 class WorkerPool(ExecutionBackend):
@@ -102,6 +117,10 @@ class WorkerPool(ExecutionBackend):
     join_timeout:
         Seconds to wait for a worker thread to exit on :meth:`stop` /
         scale-down before declaring it hung.
+    tracer:
+        Optional :class:`~repro.obs.collector.TraceCollector`; a
+        disabled collector is installed when omitted so hot paths can
+        guard on ``tracer.enabled`` unconditionally.
     """
 
     def __init__(
@@ -110,6 +129,7 @@ class WorkerPool(ExecutionBackend):
         session_factory: Callable[[str], StreamingSession],
         metrics,
         join_timeout: float = 60.0,
+        tracer: Optional[TraceCollector] = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -117,6 +137,8 @@ class WorkerPool(ExecutionBackend):
         self.session_factory = session_factory
         self.metrics = metrics
         self.join_timeout = join_timeout
+        self.tracer = tracer if tracer is not None else TraceCollector(
+            enabled=False)
         self._generation = 0
         self._workers = [_Worker(i, self._generation, self)
                          for i in range(workers)]
@@ -143,6 +165,12 @@ class WorkerPool(ExecutionBackend):
         self._started = True
         for worker in self._workers:
             worker.start()
+        if self.tracer.enabled:
+            for worker in self._workers:
+                self.tracer.emit(
+                    trace_events.BACKEND_FORK,
+                    worker=worker.worker_id,
+                    generation=worker.generation, worker_kind="thread")
 
     def stop(self) -> None:
         """Drain outstanding work, then stop every worker thread.
@@ -186,6 +214,9 @@ class WorkerPool(ExecutionBackend):
         """Block until every dispatched item has been processed."""
         for worker in self._workers:
             worker.inbox.join()
+        if self.tracer.enabled:
+            self.tracer.emit(trace_events.BACKEND_DRAIN,
+                             backend="inline", workers=self.size)
 
     def resize(self, workers: int) -> None:
         """Grow or shrink the fleet to ``workers`` pipeline instances.
@@ -212,6 +243,12 @@ class WorkerPool(ExecutionBackend):
             if self._started:
                 for worker in grown:
                     worker.start()
+                if self.tracer.enabled:
+                    for worker in grown:
+                        self.tracer.emit(
+                            trace_events.BACKEND_FORK,
+                            worker=worker.worker_id,
+                            generation=worker.generation, worker_kind="thread")
             return
         removed = self._workers[workers:]
         # Trim the live roster before joining: even if a removed worker

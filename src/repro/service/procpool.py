@@ -17,8 +17,9 @@ the hot path); partial results come back as compact
 sessions live in the child, so the parent holds no kernel state at all
 for in-flight work.
 
-Determinism contract: the child records each segment's (tuples, cycles,
-tenant) locally and ships the ledger back on :meth:`ProcessBackend.drain`,
+Determinism contract: the child records each segment's (job, tenant,
+tuples, cycles, dispatch clock) locally and ships the ledger back on
+:meth:`ProcessBackend.drain`,
 where the parent folds it into the shared
 :class:`~repro.service.metrics.ServiceMetrics`.  Segment accounting is
 commutative per worker, and the dispatch clock is advanced only by the
@@ -43,6 +44,8 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.obs import events as trace_events
+from repro.obs.collector import TraceCollector
 from repro.runtime.session import SessionSnapshot, StreamingSession
 from repro.service.executor import ExecutionBackend, SessionSpec
 from repro.service.pool import WorkItem
@@ -62,7 +65,10 @@ def _child_main(conn, worker_id: int) -> None:
     """
     specs: Dict[str, SessionSpec] = {}
     sessions: Dict[str, StreamingSession] = {}
-    records: List[Tuple[int, int, str]] = []  # (tuples, cycles, tenant)
+    #: (job_id, tenant, tuples, cycles, dispatch_clock) — the trace
+    #: context rides the ledger so the parent can emit segment events
+    #: with the clock stamped at dispatch time, not drain time.
+    records: List[Tuple[str, str, int, int, int]] = []
     errors: List[Tuple[str, str]] = []        # (job_id, message)
     while True:
         try:
@@ -74,7 +80,7 @@ def _child_main(conn, worker_id: int) -> None:
             _, job_id, spec = msg
             specs[job_id] = spec
         elif kind == "work":
-            _, job_id, tenant_id, tuple_bytes = msg
+            _, job_id, tenant_id, tuple_bytes, dispatch_clock = msg
             keys = np.frombuffer(conn.recv_bytes(), dtype=np.uint64)
             values = np.frombuffer(conn.recv_bytes(), dtype=np.int64)
             try:
@@ -84,7 +90,8 @@ def _child_main(conn, worker_id: int) -> None:
                     session = specs[job_id].build()
                     sessions[job_id] = session
                 outcome = session.process(batch)
-                records.append((outcome.tuples, outcome.cycles, tenant_id))
+                records.append((job_id, tenant_id, outcome.tuples,
+                                outcome.cycles, dispatch_clock))
             except Exception as exc:  # noqa: BLE001 — shipped to parent
                 errors.append((
                     job_id,
@@ -146,6 +153,12 @@ class ProcessBackend(ExecutionBackend):
     join_timeout:
         Seconds to wait for a child to exit on :meth:`stop` /
         scale-down before it is forcibly terminated.
+    tracer:
+        Optional :class:`~repro.obs.collector.TraceCollector`; a
+        disabled collector is installed when omitted.  Children never
+        trace — their ledgers carry the context and the parent emits on
+        their behalf at drain, keeping the pipe protocol free of trace
+        traffic.
     """
 
     def __init__(
@@ -154,6 +167,7 @@ class ProcessBackend(ExecutionBackend):
         spec_factory: Callable[[str], SessionSpec],
         metrics,
         join_timeout: float = 60.0,
+        tracer: Optional[TraceCollector] = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -161,6 +175,8 @@ class ProcessBackend(ExecutionBackend):
         self.spec_factory = spec_factory
         self.metrics = metrics
         self.join_timeout = join_timeout
+        self.tracer = tracer if tracer is not None else TraceCollector(
+            enabled=False)
         self._generation = 0
         self._children: List[_ChildHandle] = []
         #: Partials handed off by removed/stopped workers, awaiting
@@ -180,6 +196,13 @@ class ProcessBackend(ExecutionBackend):
         self._children = [_ChildHandle(i, self._generation)
                           for i in range(self.size)]
         self._started = True
+        if self.tracer.enabled:
+            for child in self._children:
+                self.tracer.emit(
+                    trace_events.BACKEND_FORK,
+                    worker=child.worker_id,
+                    generation=child.generation, worker_kind="process",
+                    pid=child.process.pid)
 
     def stop(self) -> None:
         """Hand off every child's state, then stop the fleet.
@@ -229,7 +252,7 @@ class ProcessBackend(ExecutionBackend):
                 child.jobs.add(item.job_id)
             child.conn.send(
                 ("work", item.job_id, item.tenant_id,
-                 item.batch.tuple_bytes))
+                 item.batch.tuple_bytes, item.dispatch_clock))
             child.conn.send_bytes(item.batch.keys.tobytes())
             child.conn.send_bytes(item.batch.values.tobytes())
         except (BrokenPipeError, EOFError, OSError):
@@ -252,7 +275,10 @@ class ProcessBackend(ExecutionBackend):
                 self._revive(worker_id)
                 continue
             _, records, errors = reply
-            self._fold(child.worker_id, records, errors)
+            self._fold(child.worker_id, child.generation, records, errors)
+        if self.tracer.enabled:
+            self.tracer.emit(trace_events.BACKEND_DRAIN,
+                             backend="process", workers=self.size)
 
     def resize(self, workers: int) -> None:
         """Grow with fresh warm children or shrink via state handoff.
@@ -270,9 +296,16 @@ class ProcessBackend(ExecutionBackend):
         if workers > self.size:
             if self._started:
                 self._generation += 1
-                self._children.extend(
-                    _ChildHandle(i, self._generation)
-                    for i in range(self.size, workers))
+                grown = [_ChildHandle(i, self._generation)
+                         for i in range(self.size, workers)]
+                self._children.extend(grown)
+                if self.tracer.enabled:
+                    for child in grown:
+                        self.tracer.emit(
+                            trace_events.BACKEND_FORK,
+                            worker=child.worker_id,
+                            generation=child.generation,
+                            worker_kind="process", pid=child.process.pid)
             self.size = workers
             return
         removed = self._children[workers:] if self._started else []
@@ -356,16 +389,29 @@ class ProcessBackend(ExecutionBackend):
         _, snapshots, records, errors = reply
         for job_id, snap in snapshots.items():
             self._orphans[(child.worker_id, child.generation, job_id)] = snap
-        self._fold(child.worker_id, records, errors)
+        self._fold(child.worker_id, child.generation, records, errors)
         return True
 
-    def _fold(self, worker_id: int,
-              records: List[Tuple[int, int, str]],
+    def _fold(self, worker_id: int, generation: int,
+              records: List[Tuple[str, str, int, int, int]],
               errors: List[Tuple[str, str]]) -> None:
-        """Fold a child's shipped ledgers into the parent's state."""
-        for tuples, cycles, tenant_id in records:
+        """Fold a child's shipped ledgers into the parent's state.
+
+        Segment trace events are emitted here (on the parent) with the
+        dispatch-time clock the record carried across the pipe — the
+        same stamp the inline worker uses, so traces match across
+        backends.
+        """
+        trace = self.tracer.enabled
+        for job_id, tenant_id, tuples, cycles, clock in records:
             self.metrics.record_segment(worker_id, tuples, cycles,
                                         tenant=tenant_id)
+            if trace:
+                self.tracer.emit(
+                    trace_events.JOB_SEGMENT, clock,
+                    job_id=job_id, tenant_id=tenant_id,
+                    worker=worker_id, generation=generation,
+                    tuples=tuples, cycles=cycles)
         with self._lock:
             for job_id, message in errors:
                 self._errors.setdefault(job_id, []).append(message)
@@ -389,7 +435,18 @@ class ProcessBackend(ExecutionBackend):
         child = self._children[worker_id]
         if crashed_while is not None:
             child.jobs.add(crashed_while)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                trace_events.BACKEND_CRASH,
+                job_id=crashed_while,
+                worker=child.worker_id, generation=child.generation,
+                lost_jobs=len(child.jobs))
         self._abandon(child)
         self._generation += 1
-        self._children[worker_id] = _ChildHandle(worker_id,
-                                                 self._generation)
+        replacement = _ChildHandle(worker_id, self._generation)
+        self._children[worker_id] = replacement
+        if self.tracer.enabled:
+            self.tracer.emit(
+                trace_events.BACKEND_RESPAWN,
+                worker=worker_id, generation=replacement.generation,
+                pid=replacement.process.pid)

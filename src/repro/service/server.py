@@ -42,6 +42,8 @@ from repro.control.controller import AdaptiveController, ControlPolicy
 from repro.control.replanner import default_reschedule_cost_cycles
 from repro.core.config import ArchitectureConfig
 from repro.core.fastpath import validate_engine
+from repro.obs import events as trace_events
+from repro.obs.collector import TraceCollector
 from repro.service.balancer import (
     FleetBalancer,
     SkewAwareBalancer,
@@ -144,6 +146,14 @@ class StreamService:
         behaviour); long-lived front-ends (the network gateway) must
         set a bound or call :meth:`purge`, or ``_jobs`` grows without
         limit.  Queued and running jobs are never evicted.
+    tracer:
+        Optional :class:`~repro.obs.collector.TraceCollector` capturing
+        structured trace events from every layer (job lifecycle spans,
+        control decisions, backend lifecycle, gateway wire events).
+        The default is a *disabled* collector — tracing is opt-in and
+        near-free when off (hot paths guard on one attribute read).
+        The service binds the collector's deterministic clock to its
+        dispatch clock.
     """
 
     def __init__(
@@ -161,6 +171,7 @@ class StreamService:
         reschedule_cost_cycles: Optional[int] = None,
         scheduler: str = "fair",
         retained_jobs: Optional[int] = None,
+        tracer: Optional[TraceCollector] = None,
     ) -> None:
         self.config = config or ArchitectureConfig(
             lanes=8, pripes=16, secpes=0, reschedule_threshold=0.0)
@@ -172,6 +183,9 @@ class StreamService:
             raise ValueError("balancer sized for a different fleet")
         self.balancer = balancer
         self.metrics = ServiceMetrics()
+        self.tracer = tracer if tracer is not None else TraceCollector(
+            enabled=False)
+        self.tracer.bind_clock(self.metrics.dispatch_clock)
         self.max_cycles_per_segment = max_cycles_per_segment
         self.allowed_lateness = allowed_lateness
         if reschedule_cost_cycles is not None and reschedule_cost_cycles < 0:
@@ -199,7 +213,8 @@ class StreamService:
         self._jobs_lock = threading.RLock()
         self._terminal: "OrderedDict[str, None]" = OrderedDict()
         self._pool = make_backend(self.backend, workers,
-                                  self._session_spec, self.metrics)
+                                  self._session_spec, self.metrics,
+                                  tracer=self.tracer)
         self._controller: Optional[AdaptiveController] = None
         if adaptive:
             if not isinstance(self.balancer, SkewAwareBalancer):
@@ -218,7 +233,7 @@ class StreamService:
             self.balancer.auto_replan = False
             self._controller = AdaptiveController(
                 self.balancer, self._pool, self.metrics,
-                policy=policy, slo=slo)
+                policy=policy, slo=slo, tracer=self.tracer)
         elif slo is not None or control is not None:
             raise ValueError("slo/control require adaptive=True")
 
@@ -311,6 +326,11 @@ class StreamService:
             self.metrics.record_rejected(tenant_id)
             raise
         self.metrics.record_submit(tenant_id)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                trace_events.JOB_SUBMIT, job.submit_clock,
+                job_id=job.job_id, tenant_id=tenant_id,
+                app=job.app, priority=job.priority)
         return job.job_id
 
     def cancel(self, job_id: str) -> bool:
@@ -319,6 +339,10 @@ class StreamService:
         if cancelled:
             job = self._job(job_id)
             self.metrics.record_cancelled(job.tenant_id)
+            if self.tracer.enabled:
+                self.tracer.emit(trace_events.JOB_CANCEL,
+                                 job_id=job.job_id,
+                                 tenant_id=job.tenant_id)
             self._retire(job)
         return cancelled
 
@@ -555,8 +579,14 @@ class StreamService:
 
     def _start_job(self, job: Job, other_by_key: bool) -> _ActiveJob:
         job.status = JobStatus.RUNNING
-        job.queue_delay = self.metrics.dispatch_clock() - job.submit_clock
+        admit_clock = self.metrics.dispatch_clock()
+        job.queue_delay = admit_clock - job.submit_clock
         self.metrics.record_queue_delay(job.tenant_id, job.queue_delay)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                trace_events.JOB_ADMIT, admit_clock,
+                job_id=job.job_id, tenant_id=job.tenant_id,
+                queue_delay=job.queue_delay)
         # A resubmitted job id must not inherit a previous run's errors.
         self._pool.clear_errors(job.job_id)
         # Non-splittable kernels (heavy hitters) need every key's tuples
@@ -629,18 +659,34 @@ class StreamService:
             self._pool.collect(job.job_id)  # release partial sessions
             self._fail(job, "; ".join(errors))
             return
+        if self.tracer.enabled:
+            self.tracer.emit(
+                trace_events.JOB_MERGE,
+                job_id=job.job_id, tenant_id=job.tenant_id,
+                windows=job.windows_dispatched)
         merged = self._pool.collect(job.job_id)
         if merged is not None:
             job.result = merged.result
             job.history = merged.history
         job.status = JobStatus.COMPLETED
         self.metrics.record_completed(job.tenant_id)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                trace_events.JOB_COMPLETE,
+                job_id=job.job_id, tenant_id=job.tenant_id,
+                segments=len(job.history),
+                late_tuples=job.late_tuples)
         self._job_left_fleet(job)
 
     def _fail(self, job: Job, message: str) -> None:
         job.status = JobStatus.FAILED
         job.error = message
         self.metrics.record_failed(job.tenant_id)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                trace_events.JOB_FAIL,
+                job_id=job.job_id, tenant_id=job.tenant_id,
+                error=message)
         self._job_left_fleet(job)
 
     def _job_left_fleet(self, job: Job) -> None:
@@ -657,11 +703,25 @@ class StreamService:
     def _dispatch(self, job: Job, closed_windows,
                   by_key: bool = False) -> None:
         spec = self.tenant_spec(job.tenant_id)
+        tracer = self.tracer
         for window in closed_windows:
             batch = window.to_batch()
             if len(batch) == 0:
                 continue
             self.metrics.record_window(len(batch))
+            # One clock read per window, on the dispatcher thread — the
+            # stamp every shard (and hence every segment event, on any
+            # backend) carries.  Zero when tracing is off: the read is
+            # a lock acquisition the hot path should not pay for
+            # nothing.
+            dispatch_clock = (self.metrics.dispatch_clock()
+                              if tracer.enabled else 0)
+            if tracer.enabled:
+                tracer.emit(
+                    trace_events.JOB_WINDOW, dispatch_clock,
+                    job_id=job.job_id, tenant_id=job.tenant_id,
+                    tuples=len(batch),
+                    window_index=job.windows_dispatched)
             keys = np.asarray(batch.keys)
             if self._controller is not None:
                 self._controller.on_window(keys, len(batch),
@@ -681,10 +741,16 @@ class StreamService:
             shards = self.balancer.split(batch, by_key=by_key)
             shards = self._fold_to_quota(shards, spec)
             for worker_id, shard in shards.items():
+                if tracer.enabled:
+                    tracer.emit(
+                        trace_events.JOB_SHARD, dispatch_clock,
+                        job_id=job.job_id, tenant_id=job.tenant_id,
+                        worker=worker_id, tuples=len(shard))
                 self._pool.dispatch(
                     worker_id,
                     WorkItem(job_id=job.job_id, batch=shard,
-                             tenant_id=job.tenant_id),
+                             tenant_id=job.tenant_id,
+                             dispatch_clock=dispatch_clock),
                 )
             job.windows_dispatched += 1
 

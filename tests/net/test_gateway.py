@@ -590,3 +590,61 @@ class TestConcurrency:
         finally:
             gateway.stop()
             service.shutdown()
+
+
+class TestStatsVerb:
+    """The ``stats`` telemetry verb (protocol >= 2)."""
+
+    def test_json_snapshot_over_the_wire(self, fleet):
+        service, gateway = fleet
+        batches = zipf_batches(tuples=4_000)
+        with StreamClient(gateway.host, gateway.port) as client:
+            job_id = client.submit_stream("histo", iter(batches),
+                                          window_seconds=WINDOW)
+            client.result(job_id)
+            snapshot = client.stats()
+        assert snapshot["jobs"]["completed"] == 1
+        assert snapshot["tuples_windowed"] == 4_000
+        assert snapshot["gateway"]["batches_ingested"] == len(batches)
+
+    def test_prometheus_body_parses_cleanly(self, fleet):
+        from repro.obs.exposition import parse_prometheus
+
+        service, gateway = fleet
+        with StreamClient(gateway.host, gateway.port) as client:
+            job_id = client.submit_stream(
+                "histo", iter(zipf_batches(tuples=4_000)),
+                window_seconds=WINDOW)
+            client.result(job_id)
+            body = client.stats(format="prometheus")
+        samples = parse_prometheus(body)
+        assert samples[("repro_jobs_total",
+                        frozenset({("state", "completed")}))] == 1
+        assert samples[("repro_tuples_windowed_total",
+                        frozenset())] == 4_000
+
+    def test_unknown_format_is_a_bad_request(self, fleet):
+        service, gateway = fleet
+        with StreamClient(gateway.host, gateway.port) as client:
+            with pytest.raises(GatewayError) as excinfo:
+                client.stats(format="xml")
+        assert excinfo.value.code == "bad-request"
+
+    def test_stats_requires_hello_first(self, fleet):
+        service, gateway = fleet
+        with socket.create_connection(
+                (gateway.host, gateway.port), timeout=10) as sock:
+            rfile = sock.makefile("rb")
+            sock.sendall(protocol.encode({"type": "stats"}))
+            reply = protocol.decode(rfile.readline())
+        assert reply["type"] == "error"
+
+    def test_welcome_advertises_protocol_2(self, fleet):
+        service, gateway = fleet
+        with socket.create_connection(
+                (gateway.host, gateway.port), timeout=10) as sock:
+            rfile = sock.makefile("rb")
+            sock.sendall(protocol.encode(
+                {"type": "hello", "tenant": "default"}))
+            welcome = protocol.decode(rfile.readline())
+        assert welcome["protocol"] == protocol.PROTOCOL_VERSION == 2

@@ -1,0 +1,102 @@
+"""The collector: ring semantics, sinks, and the disabled fast path."""
+
+from repro.obs import JsonlSink, MemorySink, TraceCollector, read_jsonl
+from repro.obs import events as trace_events
+
+import pytest
+
+
+class TestTraceCollector:
+    def test_disabled_collector_records_nothing(self):
+        tracer = TraceCollector(enabled=False)
+        sink = tracer.add_sink(MemorySink())
+        tracer.emit(trace_events.JOB_SUBMIT, 0, job_id="j")
+        assert tracer.events() == []
+        assert sink.events == []
+        assert tracer.emitted == 0
+
+    def test_enable_disable_toggle(self):
+        tracer = TraceCollector()
+        assert not tracer.enabled
+        tracer.enable()
+        tracer.emit(trace_events.JOB_SUBMIT, 0, job_id="j")
+        tracer.disable()
+        tracer.emit(trace_events.JOB_SUBMIT, 1, job_id="k")
+        assert len(tracer.events()) == 1
+
+    def test_ring_bounds_memory_but_counts_drops(self):
+        tracer = TraceCollector(capacity=4, enabled=True)
+        for index in range(10):
+            tracer.emit(trace_events.JOB_WINDOW, index)
+        assert len(tracer.events()) == 4
+        assert tracer.dropped == 6
+        assert [e.clock for e in tracer.events()] == [6, 7, 8, 9]
+
+    def test_sinks_see_events_the_ring_dropped(self):
+        tracer = TraceCollector(capacity=2, enabled=True)
+        sink = tracer.add_sink(MemorySink())
+        for index in range(5):
+            tracer.emit(trace_events.JOB_WINDOW, index)
+        assert len(sink.events) == 5
+
+    def test_kind_and_prefix_filters(self):
+        tracer = TraceCollector(enabled=True)
+        tracer.emit(trace_events.JOB_SUBMIT, 0, job_id="j")
+        tracer.emit(trace_events.JOB_ADMIT, 1, job_id="j")
+        tracer.emit(trace_events.CONTROL_DRIFT, 2)
+        assert len(tracer.events(trace_events.JOB_SUBMIT)) == 1
+        assert len(tracer.events("job.")) == 2
+        assert len(tracer.events("control.")) == 1
+
+    def test_bound_clock_fills_missing_clock(self):
+        readings = iter([100, 200])
+        tracer = TraceCollector(enabled=True,
+                                clock=lambda: next(readings))
+        tracer.emit(trace_events.JOB_SUBMIT, job_id="a")
+        tracer.emit(trace_events.JOB_SUBMIT, 50, job_id="b")
+        clocks = [e.clock for e in tracer.events()]
+        assert clocks == [100, 50]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            TraceCollector(capacity=0)
+
+    def test_describe_mentions_state(self):
+        tracer = TraceCollector(enabled=True)
+        assert "tracing on" in tracer.describe()
+        tracer.disable()
+        assert "tracing off" in tracer.describe()
+
+
+class TestJsonlSink:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = TraceCollector(enabled=True)
+        tracer.add_sink(JsonlSink(path))
+        tracer.emit(trace_events.JOB_SUBMIT, 0, job_id="j",
+                    tenant_id="alice", app="histo")
+        tracer.emit(trace_events.JOB_COMPLETE, 4000, job_id="j",
+                    tenant_id="alice", segments=4)
+        tracer.close()
+        events = read_jsonl(path)
+        assert [e.kind for e in events] == ["job.submit", "job.complete"]
+        assert events[0].data == {"app": "histo"}
+        assert events[1].clock == 4000
+
+    def test_lazy_open_writes_nothing_without_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        assert not path.exists()
+
+    def test_close_is_idempotent_and_reopenable(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        tracer = TraceCollector(enabled=True)
+        tracer.add_sink(sink)
+        tracer.emit(trace_events.JOB_SUBMIT, 0, job_id="a")
+        tracer.close()
+        tracer.close()
+        tracer.emit(trace_events.JOB_SUBMIT, 1, job_id="b")
+        tracer.close()
+        assert len(read_jsonl(path)) == 2

@@ -1,0 +1,54 @@
+"""The trace-event model: construction, serialization, round-trips."""
+
+import json
+
+import pytest
+
+from repro.obs import events as trace_events
+from repro.obs.events import TraceEvent
+
+
+class TestTraceEvent:
+    def test_round_trips_through_json(self):
+        event = TraceEvent(
+            kind=trace_events.JOB_SEGMENT, clock=4000, wall=12.5,
+            job_id="job-1", tenant_id="alice", worker=2, generation=1,
+            data={"tuples": 4000, "cycles": 1234})
+        assert TraceEvent.from_json(event.to_json()) == event
+
+    def test_to_dict_elides_unset_context(self):
+        event = TraceEvent(kind=trace_events.BACKEND_DRAIN, clock=0,
+                           wall=1.0)
+        payload = event.to_dict()
+        assert "job_id" not in payload
+        assert "worker" not in payload
+        assert payload["kind"] == "backend.drain"
+
+    def test_json_is_compact_single_line(self):
+        event = TraceEvent(kind=trace_events.JOB_SUBMIT, clock=1,
+                           wall=2.0, job_id="j", data={"app": "histo"})
+        line = event.to_json()
+        assert "\n" not in line
+        assert " " not in line.split('"app"')[0]
+        assert json.loads(line)["data"] == {"app": "histo"}
+
+    def test_from_dict_defaults_missing_data(self):
+        event = TraceEvent.from_dict(
+            {"kind": "job.admit", "clock": 7, "wall": 0.0})
+        assert event.data == {}
+        assert event.clock == 7
+
+    def test_kind_constants_are_layer_dotted(self):
+        names = [value for name, value in vars(trace_events).items()
+                 if name.isupper() and isinstance(value, str)]
+        assert names
+        for kind in names:
+            layer, _, detail = kind.partition(".")
+            assert layer in ("job", "control", "gateway", "backend",
+                             "sim"), kind
+            assert detail
+
+    def test_events_are_immutable(self):
+        event = TraceEvent(kind="job.submit", clock=0, wall=0.0)
+        with pytest.raises(AttributeError):
+            event.clock = 5

@@ -1,0 +1,135 @@
+"""Tracing's two hard promises, as tests.
+
+1. **Backend invariance**: with tracing on, the deterministic
+   dispatch-clock timestamps of every job-lifecycle event are identical
+   whether the fleet runs on inline threads or warm worker
+   subprocesses.  Segment events carry the clock stamped at *dispatch*
+   time (``WorkItem.dispatch_clock``, shipped through the procpool
+   pipe), so even events that physically happen in another process at a
+   different wall time agree bit for bit.
+2. **Non-perturbation**: enabling tracing changes no deterministic
+   outcome — job results, cycle counts, and the metrics snapshot are
+   identical with tracing on and off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import MemorySink, TraceCollector
+from repro.obs import events as trace_events
+from repro.service import SERVED_APPS, StreamService
+from repro.workloads.streams import chunk_stream
+from repro.workloads.tuples import TupleBatch
+from repro.workloads.zipf import ZipfGenerator
+
+BACKENDS = ("inline", "process")
+
+
+def app_workload(app, tuples=6_000, seed=5):
+    if app == "pagerank":
+        rng = np.random.default_rng(seed)
+        batch = TupleBatch(
+            keys=rng.integers(0, 256, tuples).astype(np.uint64),
+            values=rng.integers(0, 256, tuples, dtype=np.int64),
+        )
+        return batch, {"num_vertices": 256}
+    return ZipfGenerator(alpha=1.5, seed=seed).generate(tuples), {}
+
+
+def traced_run(app, backend, *, tracer=None, workers=4, **service_kw):
+    """Serve one job; returns (events, result, snapshot)."""
+    batch, params = app_workload(app)
+    if tracer is None:
+        tracer = TraceCollector(enabled=True)
+    service = StreamService(workers=workers, balancer="skew",
+                            backend=backend, tracer=tracer,
+                            **service_kw)
+    try:
+        job_id = service.submit(app, chunk_stream(batch, 2_000),
+                                window_seconds=2e-6, params=params,
+                                job_id=f"trace-{app}")
+        service.run()
+        result = service.result(job_id)
+        snapshot = service.metrics.snapshot()
+    finally:
+        service.shutdown()
+    return tracer.events(), result, snapshot
+
+
+def clock_view(events):
+    """The deterministic, order-insensitive view of a job trace.
+
+    Worker threads interleave differently run to run, so events are
+    compared as sorted tuples; ``generation`` is excluded (the process
+    pool starts at generation 1, the thread pool at 0) and so is wall
+    time (host-dependent by design).
+    """
+    view = []
+    for event in events:
+        if not event.kind.startswith("job."):
+            continue
+        view.append((event.kind, event.clock, event.job_id,
+                     event.tenant_id, event.worker,
+                     tuple(sorted(
+                         (k, v) for k, v in event.data.items()))))
+    return sorted(view)
+
+
+class TestBackendInvariantTimestamps:
+    @pytest.mark.parametrize("app", SERVED_APPS)
+    def test_dispatch_clock_identical_across_backends(self, app):
+        inline_events, inline_result, _ = traced_run(app, "inline")
+        process_events, process_result, _ = traced_run(app, "process")
+        assert clock_view(inline_events) == clock_view(process_events)
+        assert inline_result.cycles == process_result.cycles
+
+    def test_segments_carry_dispatch_time_clocks(self):
+        events, _, snapshot = traced_run("histo", "inline")
+        segments = [e for e in events
+                    if e.kind == trace_events.JOB_SEGMENT]
+        windows = {e.clock for e in events
+                   if e.kind == trace_events.JOB_WINDOW}
+        assert segments
+        # Every segment's clock equals the clock of a closed window —
+        # the dispatch-time stamp, not a completion-time read.
+        assert {e.clock for e in segments} <= windows
+        assert sum(e.data["cycles"] for e in segments) > 0
+
+    def test_process_backend_traces_forks_and_drain(self):
+        events, _, _ = traced_run("histo", "process")
+        forks = [e for e in events
+                 if e.kind == trace_events.BACKEND_FORK]
+        assert len(forks) == 4
+        assert all(e.data["worker_kind"] == "process" for e in forks)
+        assert any(e.kind == trace_events.BACKEND_DRAIN
+                   for e in events)
+
+
+class TestTracingDoesNotPerturb:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_results_and_metrics_identical_on_off(self, backend):
+        traced_events, traced_result, traced_snap = traced_run(
+            "histo", backend)
+        off = TraceCollector(enabled=False)
+        off_events, off_result, off_snap = traced_run(
+            "histo", backend, tracer=off)
+        assert off_events == []
+        assert np.array_equal(traced_result.result, off_result.result)
+        assert traced_result.cycles == off_result.cycles
+        assert traced_snap == off_snap
+        assert traced_events  # the traced run did capture
+
+    def test_sink_receives_full_lifecycle(self):
+        tracer = TraceCollector(enabled=True)
+        sink = tracer.add_sink(MemorySink())
+        events, _, _ = traced_run("histo", "inline", tracer=tracer)
+        kinds = {e.kind for e in sink.events}
+        for expected in (trace_events.JOB_SUBMIT,
+                         trace_events.JOB_ADMIT,
+                         trace_events.JOB_WINDOW,
+                         trace_events.JOB_SHARD,
+                         trace_events.JOB_SEGMENT,
+                         trace_events.JOB_MERGE,
+                         trace_events.JOB_COMPLETE):
+            assert expected in kinds, expected
+        assert len(sink.events) == len(events)

@@ -31,7 +31,8 @@ class TestQueueDepthRingBuffer:
     def test_empty_metrics_snapshot_is_all_zero(self):
         snap = ServiceMetrics().snapshot()
         assert snap["queue_depth"] == {"p50": 0.0, "p95": 0.0,
-                                       "peak": 0, "samples": 0}
+                                       "peak": 0, "last": 0,
+                                       "samples": 0}
         assert snap["fleet_throughput"] == 0.0
         assert snap["control"]["plan_cache_hit_rate"] == 0.0
 

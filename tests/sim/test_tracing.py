@@ -53,3 +53,43 @@ class TestThroughputTrace:
     def test_rejects_bad_window(self):
         with pytest.raises(ValueError):
             ThroughputTrace(window=0)
+
+
+class TestObsSchemaExport:
+    """Both tracers export into the shared repro.obs event schema."""
+
+    def test_occupancy_events_carry_cycle_clock(self):
+        ch = Channel("c", capacity=8)
+        trace = ChannelOccupancyTrace([ch], every=2)
+        ch.write(1)
+        ch.commit()
+        trace.sample(0)
+        trace.sample(2)
+        events = trace.to_events()
+        assert [e.kind for e in events] == ["sim.channel"] * 2
+        assert [e.clock for e in events] == [0, 2]
+        assert events[1].data["occupancy"] == {"c": 1}
+
+    def test_throughput_events_align_with_history(self):
+        trace = ThroughputTrace(window=10)
+        for cycle in range(1, 21):
+            trace.record(2)
+            trace.on_cycle(cycle)
+        events = trace.to_events()
+        assert len(events) == len(trace.history)
+        assert all(e.kind == "sim.throughput" for e in events)
+        assert events[-1].clock == trace.cycles[-1]
+        assert events[-1].data["tuples_per_cycle"] == trace.latest()
+        assert events[-1].data["window"] == 10
+
+    def test_jsonl_export_round_trips(self, tmp_path):
+        from repro.obs import read_jsonl
+
+        trace = ThroughputTrace(window=5)
+        for cycle in range(1, 11):
+            trace.record(1)
+            trace.on_cycle(cycle)
+        path = tmp_path / "sim.jsonl"
+        written = trace.export_jsonl(path)
+        assert written == len(trace.history)
+        assert read_jsonl(path) == trace.to_events()

@@ -181,3 +181,75 @@ class TestNetworkCLI:
     def test_connect_rejects_bad_address(self):
         with pytest.raises(SystemExit):
             main(["submit", "--connect", "nonsense"])
+
+
+class TestTraceCLI:
+    def test_serve_captures_and_trace_analyzes(self, tmp_path, capsys):
+        capture = tmp_path / "capture.jsonl"
+        code = main([
+            "serve", "--demo", "--tuples", "4000", "--workers", "2",
+            "--adaptive", "--trace", str(capture),
+        ])
+        assert code == 0
+        assert "trace: wrote" in capsys.readouterr().out
+        assert capture.exists()
+
+        code = main(["trace", str(capture), "--tail", "2",
+                     "--decisions"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events from" in out
+        assert '"kind"' in out  # tailed raw JSON
+        assert "queue p50/p95 (tup)" in out  # stage breakdown header
+        assert "control decisions" in out
+
+    def test_trace_tenant_and_kind_filters(self, tmp_path, capsys):
+        capture = tmp_path / "capture.jsonl"
+        main(["serve", "--demo", "--tuples", "4000", "--workers", "2",
+              "--trace", str(capture)])
+        capsys.readouterr()
+        code = main(["trace", str(capture), "--tenant", "batch",
+                     "--kind", "job."])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch" in out
+        assert "interactive" not in out
+
+    def test_trace_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["trace", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_stats_fetches_prometheus_from_gateway(self, tmp_path,
+                                                   capsys):
+        import threading
+        import time
+
+        ready = tmp_path / "ready"
+        server = threading.Thread(target=main, args=([
+            "ingest", "--serve-jobs", "1", "--workers", "2",
+            "--ready-file", str(ready),
+        ],))
+        server.start()
+        deadline = time.monotonic() + 30.0
+        while not ready.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert ready.exists(), "gateway never came up"
+        host, port = ready.read_text().split()
+        try:
+            code = main(["stats", "--connect", f"{host}:{port}",
+                         "--format", "prometheus"])
+            assert code == 0
+            out = capsys.readouterr().out
+            # The ingest thread's startup banner shares the captured
+            # stdout; the exposition starts at its first HELP line.
+            body = out[out.index("# HELP"):]
+            from repro.obs.exposition import parse_prometheus
+            assert parse_prometheus(body)
+        finally:
+            main([
+                "submit", "--connect", f"{host}:{port}",
+                "--app", "histo", "--tuples", "4000",
+            ])
+            server.join(timeout=60.0)
+        assert not server.is_alive()
