@@ -35,6 +35,10 @@ from repro.obs.events import (
     BACKEND_DRAIN,
     BACKEND_FORK,
     BACKEND_RESPAWN,
+    BACKEND_SHARD_RETRY,
+    BACKEND_SLAB_ALLOC,
+    BACKEND_SLAB_RELEASE,
+    BACKEND_SLAB_REUSE,
     CONTROL_DECISION,
     CONTROL_DRIFT,
     CONTROL_PLAN,
@@ -94,6 +98,10 @@ __all__ = [
     "BACKEND_DRAIN",
     "BACKEND_CRASH",
     "BACKEND_RESPAWN",
+    "BACKEND_SHARD_RETRY",
+    "BACKEND_SLAB_ALLOC",
+    "BACKEND_SLAB_REUSE",
+    "BACKEND_SLAB_RELEASE",
     "SIM_CHANNEL",
     "SIM_THROUGHPUT",
 ]

@@ -58,6 +58,12 @@ BACKEND_FORK = "backend.fork"        #: worker minted (thread or fork)
 BACKEND_DRAIN = "backend.drain"      #: drain barrier completed
 BACKEND_CRASH = "backend.crash"      #: worker subprocess died
 BACKEND_RESPAWN = "backend.respawn"  #: crashed worker replaced
+BACKEND_SHARD_RETRY = "backend.shard.retry"  #: lost shard replayed
+
+# --- shared-memory shard transport (repro.service.shm) ---
+BACKEND_SLAB_ALLOC = "backend.slab.alloc"      #: slab segment created
+BACKEND_SLAB_REUSE = "backend.slab.reuse"      #: recycled block served
+BACKEND_SLAB_RELEASE = "backend.slab.release"  #: slab unlinked
 
 # --- cycle-level simulator (repro.sim.tracing) ---
 SIM_CHANNEL = "sim.channel"          #: channel occupancy sample

@@ -154,6 +154,21 @@ def to_prometheus(snapshot: Dict[str, Any], prefix: str = "repro") -> str:
                "Per-tenant buffered-batch depth",
                gateway.get("ingest_depth", {}))
 
+    transport = snapshot.get("transport", {})
+    for key, help_text in (
+        ("shards_pipe", "Shards shipped as pipe byte copies"),
+        ("shards_shm", "Shards shipped as shared-memory descriptors"),
+        ("shard_bytes_copied", "Shard bytes serialized through pipes"),
+        ("shard_bytes_shared", "Shard bytes written once to shared slabs"),
+        ("slabs_allocated", "Shared-memory slabs created"),
+        ("slab_blocks_reused", "Slab allocations served from recycled blocks"),
+        ("slabs_released", "Shared-memory slabs unlinked"),
+        ("slab_fallbacks", "Shards that fell back from shm to pipe"),
+        ("shard_retries", "Lost shards replayed after a worker crash"),
+    ):
+        exp.sample(f"transport_{key}_total", help_text, "counter",
+                   transport.get(key, 0))
+
     control = snapshot.get("control", {})
     for key, help_text in (
         ("drift_events", "Drift detections"),

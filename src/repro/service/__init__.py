@@ -65,20 +65,26 @@ from repro.service.metrics import (
     WorkerStats,
 )
 from repro.service.executor import (
+    BACKENDS,
+    TRANSPORTS,
     ExecutionBackend,
     SessionSpec,
     make_backend,
     validate_backend,
+    validate_transport,
 )
 from repro.service.pool import InlineBackend, WorkItem, WorkerPool
 from repro.service.procpool import ProcessBackend
+from repro.service.shm import ShardDescriptor, SlabArena, SlabClient
 from repro.service.queue import JobQueue
 from repro.service.server import StreamService
 from repro.service.windows import EventWindow, WindowManager
 
 __all__ = [
+    "BACKENDS",
     "DEFAULT_TENANT",
     "SERVED_APPS",
+    "TRANSPORTS",
     "EventWindow",
     "ExecutionBackend",
     "FleetBalancer",
@@ -93,7 +99,10 @@ __all__ = [
     "RoundRobinBalancer",
     "ServiceMetrics",
     "SessionSpec",
+    "ShardDescriptor",
     "SkewAwareBalancer",
+    "SlabArena",
+    "SlabClient",
     "StreamService",
     "TenantSpec",
     "TenantStats",
@@ -106,4 +115,5 @@ __all__ = [
     "make_balancer",
     "shard_of_keys",
     "validate_backend",
+    "validate_transport",
 ]

@@ -41,6 +41,13 @@ from repro.runtime.session import StreamingSession
 #: The registered execution backends, in preference-for-replay order.
 BACKENDS = ("inline", "process")
 
+#: Shard transports of the process backend, in copies-per-shard order:
+#: ``pipe`` serializes both arrays through the pipe (two copies),
+#: ``shm`` writes them once into a shared-memory slab and ships a
+#: descriptor (:mod:`repro.service.shm`).  The inline backend has no
+#: process boundary, so the knob is accepted and ignored there.
+TRANSPORTS = ("pipe", "shm")
+
 
 def validate_backend(backend: str) -> str:
     """Normalize and validate a backend name (mirrors validate_engine)."""
@@ -48,6 +55,14 @@ def validate_backend(backend: str) -> str:
         raise ValueError(
             f"unknown backend {backend!r} (inline | process)")
     return backend
+
+
+def validate_transport(transport: str) -> str:
+    """Normalize and validate a shard-transport name."""
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r} (pipe | shm)")
+    return transport
 
 
 @dataclass(frozen=True)
@@ -151,6 +166,7 @@ def make_backend(
     metrics,
     join_timeout: float = 60.0,
     tracer=None,
+    transport: str = "pipe",
 ) -> ExecutionBackend:
     """Build the named adapter behind the :class:`ExecutionBackend` port.
 
@@ -160,8 +176,12 @@ def make_backend(
     ``tracer`` is the service's shared
     :class:`~repro.obs.collector.TraceCollector` (or None for a disabled
     one) — both adapters emit segment and lifecycle events through it.
+    ``transport`` picks the process backend's shard path (pipe copies
+    vs shared-memory descriptors); the inline adapter, having no
+    process boundary, validates and ignores it.
     """
     validate_backend(backend)
+    validate_transport(transport)
     if backend == "inline":
         from repro.service.pool import WorkerPool
 
@@ -175,4 +195,5 @@ def make_backend(
     from repro.service.procpool import ProcessBackend
 
     return ProcessBackend(workers, spec_factory, metrics,
-                          join_timeout=join_timeout, tracer=tracer)
+                          join_timeout=join_timeout, tracer=tracer,
+                          transport=transport)

@@ -95,6 +95,37 @@ class TenantStats:
 
 
 @dataclass
+class TransportStats:
+    """Shard-transport accounting for the process backend.
+
+    This is the **only** deliberately transport-variant section of the
+    metrics snapshot: ``pipe`` transport pays two full copies per shard
+    (serialize in the parent, deserialize in the child) and counts them
+    in ``shard_bytes_copied``; ``shm`` transport pays a single write
+    into a shared slab, counted in ``shard_bytes_shared``, and ships
+    only a descriptor.  Equivalence tests compare snapshots with this
+    section stripped; the transport benchmark asserts on exactly this
+    section.
+
+    Shard and byte counters are deterministic given a dispatch
+    sequence.  The slab counters (``slabs_allocated``,
+    ``slab_blocks_reused``) are not: block recycling depends on how
+    fast children consume shards relative to the dispatcher, which is
+    wall-clock scheduling.
+    """
+
+    shards_pipe: int = 0
+    shards_shm: int = 0
+    shard_bytes_copied: int = 0
+    shard_bytes_shared: int = 0
+    slabs_allocated: int = 0
+    slab_blocks_reused: int = 0
+    slabs_released: int = 0
+    slab_fallbacks: int = 0
+    shard_retries: int = 0
+
+
+@dataclass
 class GatewayStats:
     """Counters of the network ingestion front-end (:mod:`repro.net`).
 
@@ -138,6 +169,8 @@ class ServiceMetrics:
         default_factory=lambda: deque(maxlen=QUEUE_DEPTH_WINDOW))
     # --- network front-end (repro.net) ---
     gateway: GatewayStats = field(default_factory=GatewayStats)
+    # --- shard transport (repro.service.procpool / shm) ---
+    transport: TransportStats = field(default_factory=TransportStats)
     # --- control plane (repro.control) ---
     drift_events: int = 0
     replans_applied: int = 0
@@ -268,6 +301,32 @@ class ServiceMetrics:
             stats.batches_shed += shed
             stats.credit_stalls += stalls
             stats.protocol_errors += errors
+
+    def record_transport(
+        self,
+        *,
+        shards_pipe: int = 0,
+        shards_shm: int = 0,
+        shard_bytes_copied: int = 0,
+        shard_bytes_shared: int = 0,
+        slabs_allocated: int = 0,
+        slab_blocks_reused: int = 0,
+        slabs_released: int = 0,
+        slab_fallbacks: int = 0,
+        shard_retries: int = 0,
+    ) -> None:
+        """Fold one shard-transport event into the counters."""
+        with self._lock:
+            stats = self.transport
+            stats.shards_pipe += shards_pipe
+            stats.shards_shm += shards_shm
+            stats.shard_bytes_copied += shard_bytes_copied
+            stats.shard_bytes_shared += shard_bytes_shared
+            stats.slabs_allocated += slabs_allocated
+            stats.slab_blocks_reused += slab_blocks_reused
+            stats.slabs_released += slabs_released
+            stats.slab_fallbacks += slab_fallbacks
+            stats.shard_retries += shard_retries
 
     def sample_ingest_depth(self, depth: int) -> None:
         """One per-tenant buffered-batch depth reading (ring buffer)."""
@@ -429,6 +488,17 @@ class ServiceMetrics:
                 for worker, stats in sorted(self.workers.items())
             },
             "gateway": self._gateway_snapshot(),
+            "transport": {
+                "shards_pipe": self.transport.shards_pipe,
+                "shards_shm": self.transport.shards_shm,
+                "shard_bytes_copied": self.transport.shard_bytes_copied,
+                "shard_bytes_shared": self.transport.shard_bytes_shared,
+                "slabs_allocated": self.transport.slabs_allocated,
+                "slab_blocks_reused": self.transport.slab_blocks_reused,
+                "slabs_released": self.transport.slabs_released,
+                "slab_fallbacks": self.transport.slab_fallbacks,
+                "shard_retries": self.transport.shard_retries,
+            },
             "control": {
                 "drift_events": self.drift_events,
                 "replans_applied": self.replans_applied,
@@ -582,6 +652,17 @@ class ServiceMetrics:
                 f"(peak {gateway['ingest_depth']['peak']}), "
                 f"{gateway['bytes_received']:,} B in / "
                 f"{gateway['bytes_sent']:,} B out")
+        transport = snap["transport"]
+        if transport["shards_pipe"] or transport["shards_shm"]:
+            lines.append(
+                f"shard transport  : {transport['shards_pipe']} pipe / "
+                f"{transport['shards_shm']} shm shards, "
+                f"{transport['shard_bytes_copied']:,} B copied / "
+                f"{transport['shard_bytes_shared']:,} B shared, "
+                f"{transport['slabs_allocated']} slabs "
+                f"({transport['slab_blocks_reused']} blocks reused, "
+                f"{transport['slab_fallbacks']} fallbacks), "
+                f"{transport['shard_retries']} shard retries")
         control = snap["control"]
         if (control["drift_events"] or control["replans_applied"]
                 or control["replans_suppressed"]

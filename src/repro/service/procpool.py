@@ -8,26 +8,53 @@ once and keeps them warm across jobs, the ModelOps warm-pool shape: no
 per-job cold start, routing stays the balancer's problem, and partial
 results merge on collection.
 
-Transport is deliberately thin: each child owns one duplex pipe.  Job
-descriptions cross it once per (worker, job) as a picklable
-:class:`~repro.service.executor.SessionSpec`; window shards cross it as
-raw NumPy buffers (``send_bytes`` of the key/value arrays — no pickle on
-the hot path); partial results come back as compact
-:class:`~repro.runtime.session.SessionSnapshot`s.  Per-(worker, job)
-sessions live in the child, so the parent holds no kernel state at all
-for in-flight work.
+Each child owns one duplex pipe.  Job descriptions cross it once per
+(worker, job) as a picklable
+:class:`~repro.service.executor.SessionSpec`; partial results come back
+as compact :class:`~repro.runtime.session.SessionSnapshot`s.  Window
+shards cross it through one of two **transports**:
+
+``transport="pipe"``
+    The shard's key/value arrays are serialized (``tobytes`` — a copy
+    in the parent) and deserialized (``recv_bytes`` — a copy in the
+    child).  Simple, allocation-free parent state, two copies per
+    shard.  The shard header carries the arrays' dtypes, so kernels
+    with non-default key/value dtypes round-trip exactly.
+
+``transport="shm"``
+    The arrays are written once into a shared-memory slab
+    (:class:`~repro.service.shm.SlabArena`) and the pipe carries only a
+    small :class:`~repro.service.shm.ShardDescriptor`; the child builds
+    read-only NumPy views straight over the shared mapping — zero
+    copies on the hot path.  Blocks recycle through a per-worker
+    consumed-sequence handshake (no reverse pipe traffic), and when the
+    arena cannot place a shard the backend falls back to the pipe copy
+    for that shard — counted, never fatal.
 
 Determinism contract: the child records each segment's (job, tenant,
 tuples, cycles, dispatch clock) locally and ships the ledger back on
-:meth:`ProcessBackend.drain`,
-where the parent folds it into the shared
+:meth:`ProcessBackend.drain`, where the parent folds it into the shared
 :class:`~repro.service.metrics.ServiceMetrics`.  Segment accounting is
 commutative per worker, and the dispatch clock is advanced only by the
 dispatcher thread, so metrics snapshots after a drain are identical to
-the inline backend's.  Collection merges partials in ascending
+the inline backend's — and identical across both transports (the only
+transport-variant section of the snapshot is the dedicated
+``transport`` counter block).  Collection merges partials in ascending
 (worker_id, generation) order — the same fixed order the inline adapter
 uses — which keeps order-sensitive reductions (partition lists)
 bit-identical across backends.
+
+Crash recovery replays instead of failing: the parent retains a
+reference to every dispatched shard of each live job (the arrays the
+balancer already materialized — released when the job collects).  When
+a child dies mid-job, its replacement is respawned at the same worker
+id and the retained ledger is replayed to it in the original dispatch
+order, rebuilding the per-(worker, job) sessions bit-identically.
+Shards whose segment records were already folded into the metrics
+replay with ``record=False`` (the child reprocesses them for session
+state but ships no duplicate record), so crash recovery never
+double-counts a segment.  Only a second failure during replay gives up
+and fails the job the old way.
 
 Like the inline pool, sessions/snapshots are tagged with a pool
 generation (bumped whenever new workers are minted), so a worker id
@@ -40,15 +67,25 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import traceback
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.obs import events as trace_events
 from repro.obs.collector import TraceCollector
 from repro.runtime.session import SessionSnapshot, StreamingSession
-from repro.service.executor import ExecutionBackend, SessionSpec
+from repro.service.executor import (
+    ExecutionBackend,
+    SessionSpec,
+    validate_transport,
+)
 from repro.service.pool import WorkItem
+from repro.service.shm import (
+    DEFAULT_MAX_SLABS,
+    DEFAULT_SLAB_BYTES,
+    SlabArena,
+    SlabClient,
+)
 from repro.workloads.tuples import TupleBatch
 
 #: Fork is required: children must inherit the imported code (spawn
@@ -57,11 +94,13 @@ from repro.workloads.tuples import TupleBatch
 _CTX = multiprocessing.get_context("fork")
 
 
-def _child_main(conn, worker_id: int) -> None:
+def _child_main(conn, worker_id: int, ctrl_name: Optional[str]) -> None:
     """One warm worker subprocess: drain the pipe until handoff.
 
     State lives entirely in this process: job specs, per-job streaming
     sessions, and the segment/error ledgers that ship back on flush.
+    ``ctrl_name`` is the arena control block for shm transport (None
+    for pipe transport); slabs attach lazily on the first descriptor.
     """
     specs: Dict[str, SessionSpec] = {}
     sessions: Dict[str, StreamingSession] = {}
@@ -70,63 +109,111 @@ def _child_main(conn, worker_id: int) -> None:
     #: with the clock stamped at dispatch time, not drain time.
     records: List[Tuple[str, str, int, int, int]] = []
     errors: List[Tuple[str, str]] = []        # (job_id, message)
-    while True:
+    slabs: Optional[SlabClient] = None
+
+    def process(job_id: str, tenant_id: str, keys: np.ndarray,
+                values: np.ndarray, tuple_bytes: int,
+                dispatch_clock: int, record: bool) -> None:
         try:
-            msg = conn.recv()
-        except (EOFError, OSError):
-            return  # parent went away; daemon child just exits
-        kind = msg[0]
-        if kind == "job":
-            _, job_id, spec = msg
-            specs[job_id] = spec
-        elif kind == "work":
-            _, job_id, tenant_id, tuple_bytes, dispatch_clock = msg
-            keys = np.frombuffer(conn.recv_bytes(), dtype=np.uint64)
-            values = np.frombuffer(conn.recv_bytes(), dtype=np.int64)
-            try:
-                batch = TupleBatch(keys, values, tuple_bytes)
-                session = sessions.get(job_id)
-                if session is None:
-                    session = specs[job_id].build()
-                    sessions[job_id] = session
-                outcome = session.process(batch)
+            batch = TupleBatch(keys, values, tuple_bytes)
+            session = sessions.get(job_id)
+            if session is None:
+                session = specs[job_id].build()
+                sessions[job_id] = session
+            outcome = session.process(batch)
+            if record:
                 records.append((job_id, tenant_id, outcome.tuples,
                                 outcome.cycles, dispatch_clock))
-            except Exception as exc:  # noqa: BLE001 — shipped to parent
-                errors.append((
-                    job_id,
-                    "".join(traceback.format_exception_only(type(exc), exc))
-                    .strip(),
-                ))
-        elif kind == "flush":
-            conn.send(("flushed", records, errors))
-            records, errors = [], []
-        elif kind == "collect":
-            _, job_id = msg
-            session = sessions.pop(job_id, None)
-            snap = (session.snapshot()
-                    if session is not None and session.history else None)
-            conn.send(("collected", snap))
-        elif kind == "handoff":
-            snaps = {job_id: session.snapshot()
-                     for job_id, session in sessions.items()
-                     if session.history}
-            conn.send(("handoff", snaps, records, errors))
-            conn.close()
-            return
+        except Exception as exc:  # noqa: BLE001 — shipped to parent
+            errors.append((
+                job_id,
+                "".join(traceback.format_exception_only(type(exc), exc))
+                .strip(),
+            ))
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return  # parent went away; daemon child just exits
+            kind = msg[0]
+            if kind == "job":
+                _, job_id, spec = msg
+                specs[job_id] = spec
+            elif kind == "work":
+                (_, job_id, tenant_id, tuple_bytes, dispatch_clock,
+                 record, keys_dtype, values_dtype) = msg
+                keys = np.frombuffer(conn.recv_bytes(),
+                                     dtype=np.dtype(keys_dtype))
+                values = np.frombuffer(conn.recv_bytes(),
+                                       dtype=np.dtype(values_dtype))
+                process(job_id, tenant_id, keys, values, tuple_bytes,
+                        dispatch_clock, record)
+            elif kind == "shard":
+                (_, job_id, tenant_id, tuple_bytes, dispatch_clock,
+                 record, desc) = msg
+                if slabs is None:
+                    slabs = SlabClient(ctrl_name)
+                keys, values = slabs.views(desc)
+                try:
+                    process(job_id, tenant_id, keys, values,
+                            tuple_bytes, dispatch_clock, record)
+                finally:
+                    # Drop the views, then publish the consumed
+                    # sequence so the parent can recycle the block.
+                    del keys, values
+                    slabs.done(worker_id, desc.seq)
+            elif kind == "flush":
+                conn.send(("flushed", records, errors))
+                records, errors = [], []
+            elif kind == "collect":
+                _, job_id = msg
+                session = sessions.pop(job_id, None)
+                snap = (session.snapshot()
+                        if session is not None and session.history
+                        else None)
+                conn.send(("collected", snap))
+            elif kind == "handoff":
+                snaps = {job_id: session.snapshot()
+                         for job_id, session in sessions.items()
+                         if session.history}
+                conn.send(("handoff", snaps, records, errors))
+                conn.close()
+                return
+    finally:
+        if slabs is not None:
+            slabs.detach()  # close mappings before interpreter teardown
+
+
+class _Retained(NamedTuple):
+    """One dispatched shard, retained parent-side for crash replay.
+
+    Holds *references* to the shard arrays the balancer already
+    materialized (no extra copies) — the replay ledger's memory cost is
+    the job's in-flight working set, released at collect.
+    """
+
+    job_id: str
+    tenant_id: str
+    keys: np.ndarray
+    values: np.ndarray
+    tuple_bytes: int
+    dispatch_clock: int
 
 
 class _ChildHandle:
     """Parent-side bookkeeping for one warm worker subprocess."""
 
-    def __init__(self, worker_id: int, generation: int) -> None:
+    def __init__(self, worker_id: int, generation: int,
+                 ctrl_name: Optional[str] = None) -> None:
         self.worker_id = worker_id
         self.generation = generation
         parent_conn, child_conn = _CTX.Pipe()
         self.conn = parent_conn
         self.process = _CTX.Process(
             target=_child_main,
-            args=(child_conn, worker_id),
+            args=(child_conn, worker_id, ctrl_name),
             name=f"pipeline-proc-{worker_id}",
             daemon=True,
         )
@@ -149,7 +236,8 @@ class ProcessBackend(ExecutionBackend):
         per-(worker, job) session itself.
     metrics:
         Shared :class:`~repro.service.metrics.ServiceMetrics`; child
-        segment ledgers are folded in on :meth:`drain`.
+        segment ledgers are folded in on :meth:`drain`, and shard
+        transport events land in its ``transport`` counters.
     join_timeout:
         Seconds to wait for a child to exit on :meth:`stop` /
         scale-down before it is forcibly terminated.
@@ -159,6 +247,13 @@ class ProcessBackend(ExecutionBackend):
         trace — their ledgers carry the context and the parent emits on
         their behalf at drain, keeping the pipe protocol free of trace
         traffic.
+    transport:
+        ``"pipe"`` ships shard bytes through the pipe (two copies);
+        ``"shm"`` writes them once into a shared-memory slab arena and
+        ships descriptors (see the module docstring).  Results and
+        deterministic metrics are bit-identical across both.
+    slab_bytes / max_slabs:
+        Arena sizing for ``transport="shm"`` (ignored for pipe).
     """
 
     def __init__(
@@ -168,6 +263,9 @@ class ProcessBackend(ExecutionBackend):
         metrics,
         join_timeout: float = 60.0,
         tracer: Optional[TraceCollector] = None,
+        transport: str = "pipe",
+        slab_bytes: int = DEFAULT_SLAB_BYTES,
+        max_slabs: int = DEFAULT_MAX_SLABS,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -177,12 +275,24 @@ class ProcessBackend(ExecutionBackend):
         self.join_timeout = join_timeout
         self.tracer = tracer if tracer is not None else TraceCollector(
             enabled=False)
+        self.transport = validate_transport(transport)
+        self.slab_bytes = slab_bytes
+        self.max_slabs = max_slabs
+        self._arena: Optional[SlabArena] = None
         self._generation = 0
         self._children: List[_ChildHandle] = []
         #: Partials handed off by removed/stopped workers, awaiting
         #: collection, keyed (worker_id, generation, job_id).
         self._orphans: Dict[Tuple[int, int, str], SessionSnapshot] = {}
         self._errors: Dict[str, List[str]] = {}
+        #: Crash-replay ledger: every dispatched shard of every live
+        #: job, per worker, in dispatch order.  Entries drop at collect.
+        self._retained: Dict[int, List[_Retained]] = {}
+        #: Segment records already folded into the metrics, per
+        #: (worker_id, job_id) — the replay cursor that keeps crash
+        #: recovery exactly-once (pipe FIFO order makes the first N
+        #: dispatched shards of a job the first N recorded).
+        self._recorded: Dict[Tuple[int, str], int] = {}
         self._lock = threading.Lock()
         self._started = False
 
@@ -192,9 +302,12 @@ class ProcessBackend(ExecutionBackend):
     def start(self) -> None:
         if self._started:
             return
+        if self.transport == "shm" and self._arena is None:
+            self._arena = SlabArena(self.slab_bytes, self.max_slabs,
+                                    metrics=self.metrics,
+                                    tracer=self.tracer)
         self._generation += 1
-        self._children = [_ChildHandle(i, self._generation)
-                          for i in range(self.size)]
+        self._children = [self._mint(i) for i in range(self.size)]
         self._started = True
         if self.tracer.enabled:
             for child in self._children:
@@ -210,23 +323,32 @@ class ProcessBackend(ExecutionBackend):
         Children flush their segment/error ledgers and surrender their
         retained partial sessions as orphan snapshots (so a post-stop
         :meth:`collect` still merges them, matching the inline pool's
-        retained ``_sessions``).  The pool is marked stopped before any
+        retained ``_sessions``).  The arena — when shm transport is on —
+        is closed and unlinked here, whatever else fails: stop leaves no
+        ``/dev/shm`` residue.  The pool is marked stopped before any
         failure is surfaced, so it always stays restartable.
         """
         if not self._started:
             return
         children, self._children = self._children, []
         self._started = False
+        self._retained.clear()
+        self._recorded.clear()
         stuck: List[int] = []
-        for child in children:
-            if not self._handoff(child):
-                continue
-            child.process.join(timeout=self.join_timeout)
-            if child.process.is_alive():
-                child.process.terminate()
-                child.process.join(timeout=5.0)
+        try:
+            for child in children:
+                if not self._handoff(child):
+                    continue
+                child.process.join(timeout=self.join_timeout)
                 if child.process.is_alive():
-                    stuck.append(child.worker_id)
+                    child.process.terminate()
+                    child.process.join(timeout=5.0)
+                    if child.process.is_alive():
+                        stuck.append(child.worker_id)
+        finally:
+            if self._arena is not None:
+                self._arena.close()
+                self._arena = None
         if stuck:
             raise RuntimeError(
                 f"workers {stuck} did not stop within "
@@ -237,24 +359,19 @@ class ProcessBackend(ExecutionBackend):
     # Dispatch
     # ------------------------------------------------------------------
     def dispatch(self, worker_id: int, item: WorkItem) -> None:
-        """Ship one shard to one child as raw NumPy buffers."""
+        """Ship one shard to one child; retain it for crash replay."""
         if not 0 <= worker_id < self.size:
             raise ValueError(f"no such worker {worker_id}")
         if not self._started:
             raise RuntimeError("pool is not running; call start() first")
         if len(item.batch) == 0:
             return  # parity with the inline worker's empty-shard skip
-        child = self._children[worker_id]
+        entry = _Retained(item.job_id, item.tenant_id, item.batch.keys,
+                          item.batch.values, item.batch.tuple_bytes,
+                          item.dispatch_clock)
+        self._retained.setdefault(worker_id, []).append(entry)
         try:
-            if item.job_id not in child.jobs:
-                child.conn.send(
-                    ("job", item.job_id, self.spec_factory(item.job_id)))
-                child.jobs.add(item.job_id)
-            child.conn.send(
-                ("work", item.job_id, item.tenant_id,
-                 item.batch.tuple_bytes, item.dispatch_clock))
-            child.conn.send_bytes(item.batch.keys.tobytes())
-            child.conn.send_bytes(item.batch.values.tobytes())
+            self._send(self._children[worker_id], entry, record=True)
         except (BrokenPipeError, EOFError, OSError):
             self._revive(worker_id, crashed_while=item.job_id)
 
@@ -264,18 +381,25 @@ class ProcessBackend(ExecutionBackend):
         The pipe is FIFO, so the flush reply doubles as a completion
         barrier: when it arrives, every previously dispatched shard has
         been processed.  The parent never holds a recv while a child
-        waits on it, so the barrier cannot deadlock.
+        waits on it, so the barrier cannot deadlock.  A child found
+        dead at the barrier is revived and its retained shards replayed
+        (sessions rebuilt, already-folded records suppressed), then
+        flushed again; only a second failure gives up on its jobs.
         """
         if not self._started:
             return
         for worker_id in range(self.size):
-            child = self._children[worker_id]
-            reply = self._roundtrip(child, ("flush",))
-            if reply is None:
+            for _ in range(2):
+                child = self._children[worker_id]
+                reply = self._roundtrip(child, ("flush",))
+                if reply is not None:
+                    _, records, errors = reply
+                    self._fold(child.worker_id, child.generation,
+                               records, errors)
+                    break
                 self._revive(worker_id)
-                continue
-            _, records, errors = reply
-            self._fold(child.worker_id, child.generation, records, errors)
+            else:
+                self._give_up(worker_id)
         if self.tracer.enabled:
             self.tracer.emit(trace_events.BACKEND_DRAIN,
                              backend="process", workers=self.size)
@@ -296,7 +420,7 @@ class ProcessBackend(ExecutionBackend):
         if workers > self.size:
             if self._started:
                 self._generation += 1
-                grown = [_ChildHandle(i, self._generation)
+                grown = [self._mint(i)
                          for i in range(self.size, workers)]
                 self._children.extend(grown)
                 if self.tracer.enabled:
@@ -313,6 +437,10 @@ class ProcessBackend(ExecutionBackend):
             self._children = self._children[:workers]
         self.size = workers
         for child in removed:
+            # A handed-off worker has processed everything dispatched
+            # to it; its snapshots carry the state, so the replay
+            # ledger (and any slab blocks) can go.
+            self._forget(child.worker_id)
             if self._handoff(child):
                 child.process.join(timeout=self.join_timeout)
                 if child.process.is_alive():
@@ -337,7 +465,9 @@ class ProcessBackend(ExecutionBackend):
         snapshot for the job over the pipe; partials from workers
         removed by a scale-down (or a stop) come from the orphan store.
         Merge order is ascending (worker_id, generation), identical to
-        the inline pool.
+        the inline pool.  A child found dead here is revived, replayed,
+        flushed, and asked again — its partial is reconstructed, not
+        lost.  The job's replay ledger is released either way.
         """
         with self._lock:
             self._errors.pop(job_id, None)
@@ -350,11 +480,15 @@ class ProcessBackend(ExecutionBackend):
                 child.jobs.discard(job_id)
                 reply = self._roundtrip(child, ("collect", job_id))
                 if reply is None:
-                    self._revive(worker_id)
-                    continue
+                    reply = self._recollect(worker_id, job_id)
+                    if reply is None:
+                        self._give_up(worker_id)
+                        continue
+                    child = self._children[worker_id]
                 snap = reply[1]
                 if snap is not None:
                     snaps.append((child.worker_id, child.generation, snap))
+        self._release_job(job_id)
         orphan_keys = sorted(key for key in self._orphans
                              if key[2] == job_id)
         for key in orphan_keys:
@@ -368,8 +502,48 @@ class ProcessBackend(ExecutionBackend):
         return merged
 
     # ------------------------------------------------------------------
+    # Shard transport
+    # ------------------------------------------------------------------
+    def _send(self, child: _ChildHandle, entry: _Retained,
+              record: bool) -> None:
+        """Ship one retained shard over the child's pipe.
+
+        Tries the slab arena first under shm transport; a shard the
+        arena cannot place falls back to the pipe byte copy (counted as
+        a ``slab_fallbacks``).  Pipe errors propagate to the caller.
+        """
+        if entry.job_id not in child.jobs:
+            child.conn.send(
+                ("job", entry.job_id, self.spec_factory(entry.job_id)))
+            child.jobs.add(entry.job_id)
+        header = (entry.job_id, entry.tenant_id, entry.tuple_bytes,
+                  entry.dispatch_clock, record)
+        payload = entry.keys.nbytes + entry.values.nbytes
+        if self._arena is not None:
+            desc = self._arena.write(child.worker_id, entry.keys,
+                                     entry.values)
+            if desc is not None:
+                child.conn.send(("shard",) + header + (desc,))
+                self.metrics.record_transport(
+                    shards_shm=1, shard_bytes_shared=payload)
+                return
+            self.metrics.record_transport(slab_fallbacks=1)
+        child.conn.send(("work",) + header
+                        + (str(entry.keys.dtype), str(entry.values.dtype)))
+        child.conn.send_bytes(entry.keys.tobytes())
+        child.conn.send_bytes(entry.values.tobytes())
+        # tobytes() in the parent + recv_bytes() in the child: two full
+        # copies per pipe shard — the cost shm transport removes.
+        self.metrics.record_transport(
+            shards_pipe=1, shard_bytes_copied=2 * payload)
+
+    # ------------------------------------------------------------------
     # Child plumbing
     # ------------------------------------------------------------------
+    def _mint(self, worker_id: int) -> _ChildHandle:
+        ctrl = self._arena.ctrl_name if self._arena is not None else None
+        return _ChildHandle(worker_id, self._generation, ctrl)
+
     def _roundtrip(self, child: _ChildHandle, msg) -> Optional[tuple]:
         """Send one request and await its reply; None if the child died."""
         try:
@@ -400,12 +574,15 @@ class ProcessBackend(ExecutionBackend):
         Segment trace events are emitted here (on the parent) with the
         dispatch-time clock the record carried across the pipe — the
         same stamp the inline worker uses, so traces match across
-        backends.
+        backends.  Each folded record advances the replay cursor for
+        its (worker, job): those shards will never record again.
         """
         trace = self.tracer.enabled
         for job_id, tenant_id, tuples, cycles, clock in records:
             self.metrics.record_segment(worker_id, tuples, cycles,
                                         tenant=tenant_id)
+            key = (worker_id, job_id)
+            self._recorded[key] = self._recorded.get(key, 0) + 1
             if trace:
                 self.tracer.emit(
                     trace_events.JOB_SEGMENT, clock,
@@ -417,12 +594,19 @@ class ProcessBackend(ExecutionBackend):
                 self._errors.setdefault(job_id, []).append(message)
 
     def _abandon(self, child: _ChildHandle) -> None:
-        """Write off a dead/unresponsive child and its in-flight jobs."""
+        """Write off a dead/unresponsive child and its in-flight jobs.
+
+        Only the stop/shrink handoff path lands here — a crash during
+        serving goes through :meth:`_revive` + replay instead.
+        """
         with self._lock:
             for job_id in sorted(child.jobs):
                 self._errors.setdefault(job_id, []).append(
                     f"RuntimeError: worker {child.worker_id} subprocess "
                     "died; its partial results for this job were lost")
+        self._terminate(child)
+
+    def _terminate(self, child: _ChildHandle) -> None:
         try:
             child.conn.close()
         except OSError:
@@ -431,22 +615,111 @@ class ProcessBackend(ExecutionBackend):
             child.process.terminate()
 
     def _revive(self, worker_id: int, crashed_while: str = None) -> None:
-        """Replace a crashed child with a fresh warm one (new generation)."""
+        """Replace a crashed child and replay its retained shards.
+
+        The replacement keeps the same worker id (merge order and
+        by-key ownership are per-id, so results stay bit-identical)
+        under a fresh generation.  Replay rebuilds every live job's
+        session from the retained ledger; records already folded replay
+        silently (``record=False``).
+        """
         child = self._children[worker_id]
         if crashed_while is not None:
             child.jobs.add(crashed_while)
+        retained = self._retained.get(worker_id, [])
         if self.tracer.enabled:
             self.tracer.emit(
                 trace_events.BACKEND_CRASH,
                 job_id=crashed_while,
                 worker=child.worker_id, generation=child.generation,
-                lost_jobs=len(child.jobs))
-        self._abandon(child)
+                lost_jobs=len(child.jobs),
+                retained_shards=len(retained))
+        lost_jobs = set(child.jobs)
+        self._terminate(child)
+        if self._arena is not None:
+            # The dead child's unconsumed blocks are unreadable now;
+            # replay re-places the shards.
+            self._arena.release_worker(worker_id)
         self._generation += 1
-        replacement = _ChildHandle(worker_id, self._generation)
+        replacement = self._mint(worker_id)
         self._children[worker_id] = replacement
         if self.tracer.enabled:
             self.tracer.emit(
                 trace_events.BACKEND_RESPAWN,
                 worker=worker_id, generation=replacement.generation,
                 pid=replacement.process.pid)
+        self._replay(worker_id, lost_jobs)
+
+    def _replay(self, worker_id: int, lost_jobs: Set[str]) -> None:
+        """Resend a revived worker's retained shards in dispatch order."""
+        child = self._children[worker_id]
+        replayed: Dict[str, int] = {}
+        trace = self.tracer.enabled
+        try:
+            for entry in self._retained.get(worker_id, []):
+                index = replayed.get(entry.job_id, 0)
+                replayed[entry.job_id] = index + 1
+                record = index >= self._recorded.get(
+                    (worker_id, entry.job_id), 0)
+                self._send(child, entry, record=record)
+                self.metrics.record_transport(shard_retries=1)
+                if trace:
+                    self.tracer.emit(
+                        trace_events.BACKEND_SHARD_RETRY,
+                        entry.dispatch_clock,
+                        job_id=entry.job_id, tenant_id=entry.tenant_id,
+                        worker=worker_id,
+                        generation=child.generation,
+                        tuples=len(entry.keys), recorded=record)
+        except (BrokenPipeError, EOFError, OSError):
+            self._give_up(worker_id, also=lost_jobs)
+
+    def _give_up(self, worker_id: int, also: Set[str] = frozenset()) -> None:
+        """A worker died again during recovery: fail its live jobs."""
+        child = self._children[worker_id]
+        retained = self._retained.get(worker_id, [])
+        doomed = ({entry.job_id for entry in retained}
+                  | set(child.jobs) | set(also))
+        with self._lock:
+            for job_id in sorted(doomed):
+                self._errors.setdefault(job_id, []).append(
+                    f"RuntimeError: worker {worker_id} subprocess died "
+                    "and its replacement failed during shard replay; "
+                    "partial results for this job were lost")
+        self._terminate(child)
+        self._forget(worker_id)
+
+    def _recollect(self, worker_id: int, job_id: str) -> Optional[tuple]:
+        """Collect from a worker that died at collection time.
+
+        Revive + replay rebuilt the session; flush the replayed
+        segments (folding only not-yet-recorded ones), then ask for
+        the snapshot again.
+        """
+        self._revive(worker_id)
+        child = self._children[worker_id]
+        reply = self._roundtrip(child, ("flush",))
+        if reply is None:
+            return None
+        self._fold(child.worker_id, child.generation, reply[1], reply[2])
+        child.jobs.discard(job_id)
+        return self._roundtrip(child, ("collect", job_id))
+
+    def _forget(self, worker_id: int) -> None:
+        """Drop a worker's replay ledger and slab blocks."""
+        self._retained.pop(worker_id, None)
+        for key in [key for key in self._recorded if key[0] == worker_id]:
+            del self._recorded[key]
+        if self._arena is not None:
+            self._arena.release_worker(worker_id)
+
+    def _release_job(self, job_id: str) -> None:
+        """Drop one job's replay ledger across all workers (at collect)."""
+        for worker_id, entries in list(self._retained.items()):
+            kept = [e for e in entries if e.job_id != job_id]
+            if kept:
+                self._retained[worker_id] = kept
+            else:
+                self._retained.pop(worker_id)
+        for key in [key for key in self._recorded if key[1] == job_id]:
+            del self._recorded[key]

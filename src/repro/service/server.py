@@ -60,7 +60,12 @@ from repro.service.jobs import (
     kernel_class_for,
     kernel_for,
 )
-from repro.service.executor import SessionSpec, make_backend, validate_backend
+from repro.service.executor import (
+    SessionSpec,
+    make_backend,
+    validate_backend,
+    validate_transport,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.pool import WorkItem
 from repro.service.queue import JobQueue
@@ -112,6 +117,14 @@ class StreamService:
         replay safe; ``"process"`` runs them as warm, pre-forked
         subprocesses that escape the GIL for multi-core wall-time
         scaling.  Results are bit-identical across backends.
+    transport:
+        Shard transport of the process backend: ``"pipe"`` (default)
+        serializes shard arrays through each worker's pipe; ``"shm"``
+        writes them once into a shared-memory slab arena
+        (:mod:`repro.service.shm`) and ships only descriptors — zero
+        copies on the hot path.  Results, dispatch clocks, and the
+        deterministic metrics are bit-identical across transports; the
+        inline backend accepts and ignores the knob.
     adaptive:
         Enable the :mod:`repro.control` control plane: the balancer
         stops replanning reflexively on every window and an
@@ -165,6 +178,7 @@ class StreamService:
         allowed_lateness: float = 0.0,
         engine: str = "fast",
         backend: str = "inline",
+        transport: str = "pipe",
         adaptive: bool = False,
         slo: Optional[float] = None,
         control: Optional[ControlPolicy] = None,
@@ -177,6 +191,7 @@ class StreamService:
             lanes=8, pripes=16, secpes=0, reschedule_threshold=0.0)
         self.engine = validate_engine(engine)
         self.backend = validate_backend(backend)
+        self.transport = validate_transport(transport)
         if isinstance(balancer, str):
             balancer = make_balancer(balancer, workers)
         if balancer.workers != workers:
@@ -214,7 +229,8 @@ class StreamService:
         self._terminal: "OrderedDict[str, None]" = OrderedDict()
         self._pool = make_backend(self.backend, workers,
                                   self._session_spec, self.metrics,
-                                  tracer=self.tracer)
+                                  tracer=self.tracer,
+                                  transport=self.transport)
         self._controller: Optional[AdaptiveController] = None
         if adaptive:
             if not isinstance(self.balancer, SkewAwareBalancer):

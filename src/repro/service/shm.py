@@ -1,0 +1,389 @@
+"""Shared-memory slab arena: zero-copy shard transport for the fleet.
+
+The paper's routing premise is that throughput dies when data movement
+sits on the critical path.  The ``process`` backend's original pipe
+transport reproduced exactly that sin in software: every shard was
+serialized (``ndarray.tobytes()`` — one full copy in the parent) and
+deserialized (``recv_bytes`` — a second full copy in the child).  This
+module replaces the byte stream with *references to buffers*:
+
+``SlabArena`` (parent / dispatcher side)
+    A pool of ``multiprocessing.shared_memory`` slabs with a first-fit
+    free-list allocator.  ``write()`` copies a shard's key/value arrays
+    into a slab **once** and returns a tiny picklable
+    :class:`ShardDescriptor` (slab name, offset, dtypes, length,
+    sequence number) — that descriptor is all the pipe carries.
+
+``SlabClient`` (child / worker side)
+    Attaches slabs lazily on first use and builds NumPy views straight
+    over the shared mapping with ``np.frombuffer`` — zero copies on the
+    hot path.  Views are handed out read-only: kernels never mutate
+    their input arrays (sessions retain no references to them either),
+    and the read-only flag turns any future violation of that contract
+    into a loud ``ValueError`` instead of silent cross-process
+    corruption.
+
+Reclamation needs no reverse pipe traffic.  The arena owns a small
+shared *control block*: one ``int64`` consumed-sequence slot per worker.
+Each descriptor carries a per-worker monotone sequence number; the child
+stores it into its slot after the shard is processed, and the parent
+lazily frees every block whose sequence the owner has consumed (a
+per-worker FIFO ring, matching the pipe's FIFO delivery order).  Slot
+stores/loads are single aligned 8-byte accesses — atomic on every
+platform CPython runs on.
+
+Lifecycle is observable: slab creation/recycling/teardown emit
+``backend.slab.alloc`` / ``backend.slab.reuse`` / ``backend.slab.release``
+trace events and bump the ``transport`` counters on
+:class:`~repro.service.metrics.ServiceMetrics`.  When the arena cannot
+place a shard (slabs exhausted, or a shard bigger than a slab), callers
+fall back to the classic pipe copy — a counted, graceful degradation,
+never an error.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import events as trace_events
+
+#: Bytes per slab. Slabs are mapped whole in every attached process, so
+#: a few generous slabs beat many small ones (fewer attach calls, less
+#: free-list fragmentation).
+DEFAULT_SLAB_BYTES = 4 << 20
+
+#: Ceiling on lazily created slabs; past it, writes fall back to pipes.
+DEFAULT_MAX_SLABS = 16
+
+#: Consumed-sequence slots in the control block (one per worker id).
+CTRL_SLOTS = 1024
+
+#: Block alignment. 64 keeps every view cache-line aligned.
+_ALIGNMENT = 64
+
+
+def _align(nbytes: int) -> int:
+    return (nbytes + _ALIGNMENT - 1) & ~(_ALIGNMENT - 1)
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting ownership.
+
+    Python 3.13 grew ``track=False`` for attach-only opens.  On older
+    runtimes the attach registers the segment with the resource
+    tracker — but workers are *forked*, so they share the parent's
+    tracker process, whose cache is a name set: the child's duplicate
+    registration is a no-op and the parent's ``unlink`` balances it.
+    Unregistering here would instead *remove* the parent's entry and
+    make the real unlink warn.  So: no manual unregister.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover — depends on Python version
+        return shared_memory.SharedMemory(name=name)
+
+
+@dataclass(frozen=True)
+class ShardDescriptor:
+    """Everything a child needs to view one shard in shared memory.
+
+    This — not the shard's bytes — is what crosses the pipe in shm
+    transport: ~100 bytes of pickle regardless of shard size.  The
+    value array sits immediately after the (alignment-padded) key
+    array inside the same block, so one ``(offset, length, dtypes)``
+    tuple locates both.  ``seq`` is the per-worker consumed-sequence
+    handshake token (see the module docstring).
+    """
+
+    slab: str
+    offset: int
+    length: int
+    keys_dtype: str
+    values_dtype: str
+    seq: int
+
+    @property
+    def values_offset(self) -> int:
+        key_bytes = np.dtype(self.keys_dtype).itemsize * self.length
+        return self.offset + _align(key_bytes)
+
+
+def block_size(length: int, keys_dtype, values_dtype) -> int:
+    """Bytes one shard occupies in a slab (both arrays, aligned)."""
+    return (_align(np.dtype(keys_dtype).itemsize * length)
+            + _align(np.dtype(values_dtype).itemsize * length))
+
+
+class _Slab:
+    """One shared-memory segment plus its free list.
+
+    The free list is kept sorted by offset; ``allocate`` is first-fit,
+    ``release`` coalesces with both neighbours, so steady-state serving
+    (equal-sized shards in, equal-sized shards back) reuses the same
+    handful of blocks instead of creeping through the slab.
+    """
+
+    __slots__ = ("shm", "name", "free", "recycled")
+
+    def __init__(self, segment: shared_memory.SharedMemory) -> None:
+        self.shm = segment
+        self.name = segment.name
+        self.free: List[Tuple[int, int]] = [(0, segment.size)]
+        #: True once any block has been released — allocations after
+        #: that are (at least partly) recycled address space.
+        self.recycled = False
+
+    def allocate(self, nbytes: int) -> Optional[int]:
+        for index, (offset, avail) in enumerate(self.free):
+            if avail >= nbytes:
+                if avail == nbytes:
+                    del self.free[index]
+                else:
+                    self.free[index] = (offset + nbytes, avail - nbytes)
+                return offset
+        return None
+
+    def release(self, offset: int, nbytes: int) -> None:
+        self.recycled = True
+        index = bisect.bisect_left(self.free, (offset, 0))
+        self.free.insert(index, (offset, nbytes))
+        after = index + 1
+        if (after < len(self.free)
+                and offset + nbytes == self.free[after][0]):
+            self.free[index] = (offset, nbytes + self.free[after][1])
+            del self.free[after]
+        if index > 0:
+            prev_off, prev_len = self.free[index - 1]
+            if prev_off + prev_len == self.free[index][0]:
+                self.free[index - 1] = (
+                    prev_off, prev_len + self.free[index][1])
+                del self.free[index]
+
+
+class SlabArena:
+    """Parent-side slab pool: write shards once, hand out descriptors.
+
+    Owned by the :class:`~repro.service.procpool.ProcessBackend` whose
+    ``transport="shm"``; created at :meth:`start`, torn down (close +
+    unlink, no ``/dev/shm`` residue) at :meth:`stop`.  All calls come
+    from the dispatcher thread — the only cross-process state is the
+    control block, and its slots are single-writer (the owning child).
+    """
+
+    def __init__(
+        self,
+        slab_bytes: int = DEFAULT_SLAB_BYTES,
+        max_slabs: int = DEFAULT_MAX_SLABS,
+        metrics=None,
+        tracer=None,
+    ) -> None:
+        if slab_bytes <= 0 or max_slabs <= 0:
+            raise ValueError("slab_bytes and max_slabs must be positive")
+        self.slab_bytes = int(slab_bytes)
+        self.max_slabs = int(max_slabs)
+        self.metrics = metrics
+        self.tracer = tracer
+        self._slabs: Dict[str, _Slab] = {}
+        self._order: List[_Slab] = []
+        #: Per-worker FIFO of in-flight blocks: (seq, slab, offset, size).
+        self._rings: Dict[int, Deque[Tuple[int, str, int, int]]] = {}
+        #: Per-worker monotone dispatch sequence.  Never reset while the
+        #: arena lives — a respawned worker continues its predecessor's
+        #: numbering, so a stale consumed value written by the dead
+        #: child can never reclaim a block the replacement still needs.
+        self._seqs: Dict[int, int] = {}
+        self._ctrl = shared_memory.SharedMemory(
+            create=True, size=CTRL_SLOTS * 8)
+        consumed = np.frombuffer(self._ctrl.buf, dtype=np.int64)
+        consumed[:] = 0
+        self._consumed: Optional[np.ndarray] = consumed
+        self.closed = False
+
+    @property
+    def ctrl_name(self) -> str:
+        """Control-block segment name (children attach to it by name)."""
+        return self._ctrl.name
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+    def write(self, worker_id: int,
+              keys: np.ndarray, values: np.ndarray) -> Optional[ShardDescriptor]:
+        """Place one shard in shared memory; None means "use the pipe".
+
+        The single copy of shm transport happens here (two ``copyto``
+        calls into the slab).  Returns None — never raises — when the
+        shard cannot be placed: bigger than a slab, every slab full at
+        the ``max_slabs`` ceiling, or a worker id beyond the control
+        block.  The caller counts that as a ``slab_fallbacks`` and
+        ships bytes the classic way.
+        """
+        if self.closed or not 0 <= worker_id < CTRL_SLOTS:
+            return None
+        self.reclaim()
+        nbytes = block_size(len(keys), keys.dtype, values.dtype)
+        placed = self._place(nbytes)
+        if placed is None:
+            return None
+        slab, offset = placed
+        key_view = np.frombuffer(slab.shm.buf, dtype=keys.dtype,
+                                 count=len(keys), offset=offset)
+        np.copyto(key_view, keys, casting="no")
+        values_offset = offset + _align(keys.nbytes)
+        value_view = np.frombuffer(slab.shm.buf, dtype=values.dtype,
+                                   count=len(values), offset=values_offset)
+        np.copyto(value_view, values, casting="no")
+        del key_view, value_view  # views pin the mapping; drop them now
+        seq = self._seqs.get(worker_id, 0) + 1
+        self._seqs[worker_id] = seq
+        self._rings.setdefault(worker_id, deque()).append(
+            (seq, slab.name, offset, nbytes))
+        if slab.recycled:
+            if self.metrics is not None:
+                self.metrics.record_transport(slab_blocks_reused=1)
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.emit(trace_events.BACKEND_SLAB_REUSE,
+                                 worker=worker_id, slab=slab.name,
+                                 offset=offset, nbytes=nbytes)
+        return ShardDescriptor(slab.name, offset, len(keys),
+                               str(keys.dtype), str(values.dtype), seq)
+
+    def reclaim(self) -> None:
+        """Free every block whose owner has consumed past its sequence."""
+        assert self._consumed is not None
+        for worker_id, ring in self._rings.items():
+            if not ring:
+                continue
+            consumed = int(self._consumed[worker_id])
+            while ring and ring[0][0] <= consumed:
+                _, slab_name, offset, nbytes = ring.popleft()
+                self._slabs[slab_name].release(offset, nbytes)
+
+    def release_worker(self, worker_id: int) -> None:
+        """Free a worker's in-flight blocks unconditionally.
+
+        Called when the owning child died (its views died with it) or
+        was removed by a scale-down after draining — either way nobody
+        will read those blocks again.  The sequence counter is *not*
+        reset; see its comment.
+        """
+        ring = self._rings.pop(worker_id, None)
+        if not ring:
+            return
+        for _, slab_name, offset, nbytes in ring:
+            self._slabs[slab_name].release(offset, nbytes)
+
+    def outstanding(self) -> int:
+        """In-flight (unreclaimed) block count, post-reclaim — for tests."""
+        self.reclaim()
+        return sum(len(ring) for ring in self._rings.values())
+
+    def slab_names(self) -> List[str]:
+        return [slab.name for slab in self._order]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unlink everything; no ``/dev/shm`` residue survives this."""
+        if self.closed:
+            return
+        self.closed = True
+        self._rings.clear()
+        self._seqs.clear()
+        self._consumed = None  # drop the view so the mapping can close
+        for slab in self._order:
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.emit(trace_events.BACKEND_SLAB_RELEASE,
+                                 slab=slab.name, nbytes=slab.shm.size)
+            if self.metrics is not None:
+                self.metrics.record_transport(slabs_released=1)
+            slab.shm.close()
+            slab.shm.unlink()
+        self._slabs.clear()
+        self._order = []
+        self._ctrl.close()
+        self._ctrl.unlink()
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _place(self, nbytes: int) -> Optional[Tuple[_Slab, int]]:
+        if nbytes > self.slab_bytes:
+            return None
+        for slab in self._order:
+            offset = slab.allocate(nbytes)
+            if offset is not None:
+                return slab, offset
+        if len(self._order) >= self.max_slabs:
+            return None
+        slab = _Slab(shared_memory.SharedMemory(
+            create=True, size=self.slab_bytes))
+        self._slabs[slab.name] = slab
+        self._order.append(slab)
+        if self.metrics is not None:
+            self.metrics.record_transport(slabs_allocated=1)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(trace_events.BACKEND_SLAB_ALLOC,
+                             slab=slab.name, nbytes=self.slab_bytes,
+                             slabs=len(self._order))
+        offset = slab.allocate(nbytes)
+        return slab, offset
+
+
+class SlabClient:
+    """Child-side arena access: lazy attaches, zero-copy views.
+
+    One per worker subprocess (built in ``_child_main`` when the parent
+    passes a control-block name).  The child never closes or unlinks
+    segments — the parent owns them; process exit unmaps.
+    """
+
+    def __init__(self, ctrl_name: str) -> None:
+        self._ctrl = _attach(ctrl_name)
+        self._consumed = np.frombuffer(self._ctrl.buf, dtype=np.int64)
+        self._slabs: Dict[str, shared_memory.SharedMemory] = {}
+
+    def views(self, desc: ShardDescriptor) -> Tuple[np.ndarray, np.ndarray]:
+        """Read-only key/value views straight over the shared block."""
+        segment = self._slabs.get(desc.slab)
+        if segment is None:
+            segment = _attach(desc.slab)
+            self._slabs[desc.slab] = segment
+        keys = np.frombuffer(segment.buf, dtype=np.dtype(desc.keys_dtype),
+                             count=desc.length, offset=desc.offset)
+        values = np.frombuffer(segment.buf,
+                               dtype=np.dtype(desc.values_dtype),
+                               count=desc.length, offset=desc.values_offset)
+        keys.flags.writeable = False
+        values.flags.writeable = False
+        return keys, values
+
+    def done(self, worker_id: int, seq: int) -> None:
+        """Publish "processed through ``seq``" — frees blocks parent-side."""
+        self._consumed[worker_id] = seq
+
+    def detach(self) -> None:
+        """Drop views and close mappings — the child's exit path.
+
+        Without this, the segments' ``__del__`` at interpreter shutdown
+        races the numpy views and spews ``BufferError`` noise.  Never
+        unlinks: the parent owns the segments.
+        """
+        self._consumed = None
+        for segment in self._slabs.values():
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover — a view still live
+                pass
+        self._slabs.clear()
+        try:
+            self._ctrl.close()
+        except BufferError:  # pragma: no cover
+            pass

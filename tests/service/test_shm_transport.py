@@ -1,0 +1,433 @@
+"""The shared-memory shard transport, end to end.
+
+Four promises under test:
+
+1. **Equivalence** — ``transport="shm"`` produces bit-identical
+   :class:`JobResult`s and identical deterministic metrics to
+   ``transport="pipe"`` across the full app matrix, while actually
+   moving zero copied bytes (counter-verified).
+2. **Graceful exhaustion** — a shard the arena cannot place falls back
+   to the pipe copy, counted, never failed.
+3. **Hygiene** — no ``/dev/shm`` segment survives ``stop()``, a worker
+   crash, or a service restart.
+4. **Lost-shard retry** — a worker crash mid-job replays the crashed
+   worker's retained shards to its replacement instead of failing the
+   job: same result bits, same metrics, ``backend.shard.retry`` events
+   in the trace.  (The retry ledger is transport-independent, so both
+   transports are exercised.)
+
+Plus the dtype satellite: the shard header carries the arrays' dtypes
+in both transports, so non-default key/value dtypes round-trip instead
+of being misdecoded as the historical hardcoded uint64/int64.
+"""
+
+import dataclasses
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.config import ArchitectureConfig
+from repro.obs import TraceCollector
+from repro.obs import events as trace_events
+from repro.service import (
+    SERVED_APPS,
+    ProcessBackend,
+    ServiceMetrics,
+    SessionSpec,
+    SlabArena,
+    SlabClient,
+    StreamService,
+)
+from repro.service.pool import WorkItem
+from repro.service.shm import block_size
+from repro.workloads.streams import chunk_stream
+from repro.workloads.tuples import TupleBatch
+from repro.workloads.zipf import ZipfGenerator
+
+TRANSPORTS = ("pipe", "shm")
+
+
+def shm_segments():
+    """Names currently present in /dev/shm (empty set off-POSIX)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover — non-Linux hosts
+        return set()
+
+
+def app_workload(app, tuples=6_000, seed=5):
+    if app == "pagerank":
+        rng = np.random.default_rng(seed)
+        batch = TupleBatch(
+            keys=rng.integers(0, 256, tuples).astype(np.uint64),
+            values=rng.integers(0, 256, tuples, dtype=np.int64),
+        )
+        return batch, {"num_vertices": 256}
+    return ZipfGenerator(alpha=1.5, seed=seed).generate(tuples), {}
+
+
+def result_bits(job_result):
+    return pickle.dumps(dataclasses.astuple(job_result))
+
+
+def comparable(snapshot):
+    """Snapshot minus the (deliberately transport-variant) counters."""
+    stripped = dict(snapshot)
+    stripped.pop("transport", None)
+    return stripped
+
+
+def serve_one(transport, app, *, stream=None, tracer=None, workers=4):
+    """One job on the process backend; (result, snapshot, events)."""
+    batch, params = app_workload(app)
+    if tracer is None:
+        tracer = TraceCollector(enabled=False)
+    service = StreamService(workers=workers, balancer="skew",
+                            backend="process", transport=transport,
+                            tracer=tracer)
+    try:
+        source = stream(service, batch) if stream is not None \
+            else chunk_stream(batch, 2_000)
+        job_id = service.submit(app, source, window_seconds=2e-6,
+                                params=params, job_id=f"shm-{app}")
+        service.run()
+        result = service.result(job_id)
+        snapshot = service.metrics.snapshot()
+    finally:
+        service.shutdown()
+    return result, snapshot, tracer.events()
+
+
+# ----------------------------------------------------------------------
+# The arena itself
+# ----------------------------------------------------------------------
+class TestSlabArena:
+    def test_write_then_view_roundtrips_and_reclaims(self):
+        arena = SlabArena(slab_bytes=1 << 16, max_slabs=2)
+        client = SlabClient(arena.ctrl_name)
+        try:
+            keys = np.arange(100, dtype=np.uint64)
+            values = -np.arange(100, dtype=np.int64)
+            desc = arena.write(0, keys, values)
+            assert desc is not None
+            seen_keys, seen_values = client.views(desc)
+            np.testing.assert_array_equal(seen_keys, keys)
+            np.testing.assert_array_equal(seen_values, values)
+            # Views are read-only: mutation is a loud error, not silent
+            # cross-process corruption.
+            with pytest.raises(ValueError):
+                seen_keys[0] = 1
+            del seen_keys, seen_values
+            assert arena.outstanding() == 1
+            client.done(0, desc.seq)
+            assert arena.outstanding() == 0
+        finally:
+            client.detach()
+            arena.close()
+
+    def test_blocks_recycle_once_consumed(self):
+        # One slab holding exactly two blocks: the third write needs a
+        # consumed block back.
+        nbytes = block_size(8, np.uint64, np.int64)
+        arena = SlabArena(slab_bytes=2 * nbytes, max_slabs=1)
+        client = SlabClient(arena.ctrl_name)
+        metrics_before = None
+        try:
+            keys = np.arange(8, dtype=np.uint64)
+            values = np.arange(8, dtype=np.int64)
+            first = arena.write(0, keys, values)
+            second = arena.write(0, keys, values)
+            assert first is not None and second is not None
+            assert arena.write(0, keys, values) is None  # full
+            client.done(0, first.seq)
+            third = arena.write(0, keys, values)
+            assert third is not None
+            assert third.offset == first.offset  # the recycled block
+        finally:
+            client.detach()
+            arena.close()
+
+    def test_free_list_coalesces_adjacent_blocks(self):
+        # Three small blocks fill the slab; after all are consumed, one
+        # write of the full slab size must fit — which requires the
+        # free list to have merged the three neighbours back together.
+        small = block_size(8, np.uint64, np.int64)
+        arena = SlabArena(slab_bytes=3 * small, max_slabs=1)
+        client = SlabClient(arena.ctrl_name)
+        try:
+            keys = np.arange(8, dtype=np.uint64)
+            values = np.arange(8, dtype=np.int64)
+            descs = [arena.write(0, keys, values) for _ in range(3)]
+            assert all(d is not None for d in descs)
+            client.done(0, descs[-1].seq)  # consumed through the last
+            big = np.arange(20, dtype=np.uint64)
+            assert block_size(20, np.uint64, np.int64) == 3 * small
+            desc = arena.write(0, big, big.astype(np.int64))
+            assert desc is not None and desc.offset == 0
+        finally:
+            client.detach()
+            arena.close()
+
+    def test_oversize_and_exhausted_writes_return_none(self):
+        arena = SlabArena(slab_bytes=4096, max_slabs=1)
+        try:
+            huge = np.zeros(4096, dtype=np.uint64)  # > slab on its own
+            assert arena.write(0, huge, huge.astype(np.int64)) is None
+        finally:
+            arena.close()
+
+    def test_close_unlinks_every_segment(self):
+        before = shm_segments()
+        arena = SlabArena(slab_bytes=1 << 16, max_slabs=4)
+        keys = np.arange(64, dtype=np.uint64)
+        arena.write(0, keys, keys.astype(np.int64))
+        assert shm_segments() != before  # ctrl + one slab exist
+        arena.close()
+        assert shm_segments() == before
+
+    def test_release_worker_frees_unconsumed_blocks(self):
+        nbytes = block_size(8, np.uint64, np.int64)
+        arena = SlabArena(slab_bytes=2 * nbytes, max_slabs=1)
+        try:
+            keys = np.arange(8, dtype=np.uint64)
+            values = np.arange(8, dtype=np.int64)
+            assert arena.write(0, keys, values) is not None
+            assert arena.write(0, keys, values) is not None
+            assert arena.write(0, keys, values) is None  # full
+            arena.release_worker(0)  # crashed child: nobody reads these
+            assert arena.write(0, keys, values) is not None
+        finally:
+            arena.close()
+
+
+# ----------------------------------------------------------------------
+# Transport equivalence across the app matrix
+# ----------------------------------------------------------------------
+class TestTransportEquivalence:
+    @pytest.mark.parametrize("app", SERVED_APPS)
+    def test_results_and_metrics_identical_pipe_vs_shm(self, app):
+        pipe_result, pipe_snap, _ = serve_one("pipe", app)
+        shm_result, shm_snap, _ = serve_one("shm", app)
+        assert result_bits(pipe_result) == result_bits(shm_result)
+        assert comparable(pipe_snap) == comparable(shm_snap)
+        # The win is counter-verified, not asserted: shm moved strictly
+        # fewer copied bytes (zero, when nothing fell back) and the
+        # pipe path shared nothing.
+        pipe_t, shm_t = pipe_snap["transport"], shm_snap["transport"]
+        assert pipe_t["shards_pipe"] > 0 and pipe_t["shards_shm"] == 0
+        assert shm_t["shards_shm"] > 0
+        assert shm_t["shard_bytes_copied"] < pipe_t["shard_bytes_copied"]
+        assert shm_t["shard_bytes_shared"] > 0
+        assert pipe_t["shard_bytes_shared"] == 0
+        if shm_t["slab_fallbacks"] == 0:
+            assert shm_t["shard_bytes_copied"] == 0
+
+
+# ----------------------------------------------------------------------
+# Exhaustion fallback
+# ----------------------------------------------------------------------
+def make_backend_pair(transport, **kwargs):
+    config = ArchitectureConfig(lanes=8, pripes=16, secpes=0,
+                                reschedule_threshold=0.0)
+    spec = SessionSpec(app="histo", config=config)
+    metrics = ServiceMetrics()
+    backend = ProcessBackend(2, lambda job_id: spec, metrics,
+                             transport=transport, **kwargs)
+    return backend, metrics
+
+
+class TestExhaustionFallback:
+    def test_unplaceable_shards_fall_back_to_pipe(self):
+        # A 4 KiB single-slab arena: the big shard cannot be placed and
+        # must travel as pipe bytes; the small one rides the slab.  The
+        # merged result sees both either way.
+        backend, metrics = make_backend_pair("shm", slab_bytes=4096,
+                                             max_slabs=1)
+        backend.start()
+        try:
+            big = TupleBatch(np.arange(2_000, dtype=np.uint64),
+                             np.ones(2_000, dtype=np.int64))
+            small = TupleBatch(np.arange(10, dtype=np.uint64),
+                               np.ones(10, dtype=np.int64))
+            backend.dispatch(0, WorkItem("job", big))
+            backend.dispatch(1, WorkItem("job", small))
+            backend.drain()
+            merged = backend.collect("job")
+            assert merged is not None
+            assert int(merged.result.sum()) == 2_010
+            transport = metrics.snapshot()["transport"]
+            assert transport["slab_fallbacks"] == 1
+            assert transport["shards_pipe"] == 1
+            assert transport["shards_shm"] == 1
+            assert transport["shard_bytes_copied"] > 0
+        finally:
+            backend.stop()
+
+    def test_sustained_service_inside_tiny_arena(self):
+        # Far more in-flight bytes than the arena holds: consumed-block
+        # recycling plus pipe fallback keep the job correct.
+        tracer = TraceCollector(enabled=True)
+        service = StreamService(workers=4, balancer="skew",
+                                backend="process", transport="shm",
+                                tracer=tracer)
+        service._pool.slab_bytes = 1 << 14  # fleet starts lazily in run()
+        service._pool.max_slabs = 1
+        try:
+            batch = ZipfGenerator(alpha=1.5, seed=5).generate(12_000)
+            job_id = service.submit("histo", chunk_stream(batch, 2_000),
+                                    window_seconds=2e-6)
+            service.run()
+            assert service.poll(job_id)["status"] == "completed"
+            assert int(service.result(job_id).result.sum()) == 12_000
+        finally:
+            service.shutdown()
+
+
+# ----------------------------------------------------------------------
+# /dev/shm hygiene
+# ----------------------------------------------------------------------
+class TestArenaCleanup:
+    def test_stop_leaves_no_segments(self):
+        before = shm_segments()
+        serve_one("shm", "histo")
+        assert shm_segments() == before
+
+    def test_crash_leaves_no_segments(self):
+        before = shm_segments()
+
+        def crashing(service, batch):
+            for index, events in enumerate(chunk_stream(batch, 2_000)):
+                if index == 2:
+                    child = service._pool._children[0]
+                    child.process.kill()
+                    child.process.join()
+                yield events
+
+        result, _, _ = serve_one("shm", "histo", stream=crashing)
+        assert result.result is not None
+        assert shm_segments() == before
+
+    def test_service_restart_recreates_the_arena(self):
+        batch, _ = app_workload("histo", tuples=3_000)
+        service = StreamService(workers=2, balancer="skew",
+                                backend="process", transport="shm")
+        try:
+            service.submit("histo", chunk_stream(batch, 1_500),
+                           window_seconds=2e-6, job_id="first")
+            service.run()
+            first = service.result("first")
+            service.shutdown()  # arena unlinked with the fleet
+            service.submit("histo", chunk_stream(batch, 1_500),
+                           window_seconds=2e-6, job_id="second")
+            service.run()  # fresh fleet, fresh arena
+            second = service.result("second")
+            assert np.array_equal(first.result, second.result)
+        finally:
+            service.shutdown()
+        assert service.metrics.transport.shards_shm > 0
+
+
+# ----------------------------------------------------------------------
+# Lost-shard retry
+# ----------------------------------------------------------------------
+def kill_worker(service, victim=0):
+    child = service._pool._children[victim]
+    child.process.kill()
+    child.process.join()
+
+
+def killing_stream(victim=0, at_chunk=1, chunk=2_000):
+    """A source that SIGKILLs one worker subprocess mid-job.
+
+    The crash surfaces as a broken pipe on the next dispatch to the
+    victim, triggering revive-and-replay while the stream continues.
+    """
+
+    def stream(service, batch):
+        for index, events in enumerate(chunk_stream(batch, chunk)):
+            if index == at_chunk:
+                kill_worker(service, victim)
+            yield events
+
+    return stream
+
+
+def kill_after_stream(victim=0, chunk=2_000):
+    """SIGKILL a worker after the final chunk, before the drain."""
+
+    def stream(service, batch):
+        yield from chunk_stream(batch, chunk)
+        kill_worker(service, victim)
+
+    return stream
+
+
+class TestLostShardRetry:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("app", ("histo", "hhd"))
+    def test_crash_replays_instead_of_failing(self, transport, app):
+        # hhd is by_key: replay must land on the same worker id or the
+        # per-key ownership (and the merged result) would shift.
+        clean_result, clean_snap, _ = serve_one(transport, app)
+        tracer = TraceCollector(enabled=True)
+        crash_result, crash_snap, events = serve_one(
+            transport, app, stream=killing_stream(), tracer=tracer)
+        assert result_bits(clean_result) == result_bits(crash_result)
+        # Exactly-once accounting: the replayed shards fold no
+        # duplicate segment records, so the deterministic snapshot
+        # matches a run that never crashed.
+        assert comparable(clean_snap) == comparable(crash_snap)
+        crashes = [e for e in events
+                   if e.kind == trace_events.BACKEND_CRASH]
+        retries = [e for e in events
+                   if e.kind == trace_events.BACKEND_SHARD_RETRY]
+        assert len(crashes) == 1
+        assert retries, "crash recovery must emit shard retry events"
+        assert crash_snap["transport"]["shard_retries"] == len(retries)
+        assert all(e.worker == crashes[0].worker for e in retries)
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_crash_at_drain_is_recovered(self, transport):
+        # Kill after the last chunk: the loss is only discovered at the
+        # drain barrier, whose revive+replay+reflush path must recover.
+        clean_result, clean_snap, _ = serve_one(transport, "histo")
+        crash_result, crash_snap, _ = serve_one(
+            transport, "histo", stream=kill_after_stream())
+        assert result_bits(clean_result) == result_bits(crash_result)
+        assert comparable(clean_snap) == comparable(crash_snap)
+
+
+# ----------------------------------------------------------------------
+# Dtype-carrying shard headers
+# ----------------------------------------------------------------------
+class TestDtypeHeaders:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_non_default_dtypes_roundtrip(self, transport):
+        # The historical pipe protocol hardcoded uint64/int64 decodes:
+        # a uint32 key array would be misparsed as half as many uint64s.
+        # The header now carries both dtypes; the child decodes with
+        # them and TupleBatch's own coercion restores the canonical
+        # types, so results match the uint64 baseline exactly.
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 1 << 16, 1_000).astype(np.uint64)
+        values = rng.integers(0, 1 << 10, 1_000, dtype=np.int64)
+
+        def run(shrink_dtypes):
+            backend, _ = make_backend_pair(transport)
+            backend.start()
+            try:
+                batch = TupleBatch(keys.copy(), values.copy())
+                if shrink_dtypes:
+                    batch.keys = batch.keys.astype(np.uint32)
+                    batch.values = batch.values.astype(np.int32)
+                backend.dispatch(0, WorkItem("job", batch))
+                backend.drain()
+                merged = backend.collect("job")
+                assert merged is not None
+                return merged.result
+            finally:
+                backend.stop()
+
+        np.testing.assert_array_equal(run(False), run(True))

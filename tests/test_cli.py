@@ -138,7 +138,25 @@ class TestServeSubmit:
         assert code == 0
         out = capsys.readouterr().out
         assert "served 4 jobs" in out
-        assert "process backend" in out
+        assert "process/pipe backend" in out
+
+    def test_serve_process_backend_shm_transport(self, capsys):
+        code = main([
+            "serve", "--demo", "--tuples", "4000", "--workers", "2",
+            "--backend", "process", "--transport", "shm",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 4 jobs" in out
+        assert "process/shm backend" in out
+
+    def test_submit_shm_transport(self, capsys):
+        code = main([
+            "submit", "--app", "histo", "--tuples", "4000",
+            "--backend", "process", "--transport", "shm",
+        ])
+        assert code == 0
+        assert "status=completed" in capsys.readouterr().out
 
     def test_submit_process_backend(self, capsys):
         code = main([
