@@ -176,6 +176,6 @@ def test_ablation_predictive_online_selector(benchmark, emit):
          f"predictive online selector: mean RAM {mean_ram:.0f} M20K vs "
          f"always-max {max_ram} M20K "
          f"({1 - mean_ram / max_ram:.0%} saved), {switches} bitstream "
-         f"switches across 10 segments")
+         "switches across 10 segments")
     assert mean_ram < 0.8 * max_ram
     assert switches <= 6                  # hysteresis limits thrash

@@ -89,7 +89,7 @@ def test_adaptive_beats_reflexive_replanning_under_thrash(emit):
 
     table = Table(
         ["fleet", "t/c", "replans", "suppressed", "stall cycles"],
-        title=(f"Thrashing regime: hot keys move every window "
+        title=("Thrashing regime: hot keys move every window "
                f"(Zipf {ALPHA}, {WORKERS} workers, "
                f"{RESCHEDULE_COST:,}-cycle reschedule stall)"),
     )
@@ -142,7 +142,7 @@ def test_no_regression_on_stationary_distribution(emit):
              "ratio": ratio,
          })
     assert ratio >= 0.95, (
-        f"adaptive control regressed a stationary stream to "
+        "adaptive control regressed a stationary stream to "
         f"{ratio:.3f}x static planning")
     assert adaptive["control"]["replans_applied"] == 0
 
@@ -165,7 +165,7 @@ def test_plan_cache_reattaches_recurring_distributions(emit):
     hit_rate = control["plan_cache_hit_rate"]
 
     emit("control_plan_cache",
-         f"recurring distributions (3 seeds x 4 cycles): "
+         "recurring distributions (3 seeds x 4 cycles): "
          f"{control['replans_applied']} replans, "
          f"{control['plan_cache_hits']} cache hits / "
          f"{control['plan_cache_misses']} misses "

@@ -60,7 +60,7 @@ def test_fig7_selected_impl_never_compromises(benchmark, emit):
 
     worst_loss = benchmark.pedantic(measure, rounds=1, iterations=1)
     emit("fig7_selection_loss",
-         f"worst-case throughput loss of the Ditto-selected "
+         "worst-case throughput loss of the Ditto-selected "
          f"implementation vs best available: {worst_loss:.1%} "
-         f"(clock spread between builds is ~25%)")
+         "(clock spread between builds is ~25%)")
     assert worst_loss < 0.30

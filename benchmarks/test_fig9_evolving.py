@@ -13,7 +13,6 @@ Asserted paper findings:
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import paper_data
 from repro.experiments.fig9 import run_fig9
@@ -64,8 +63,8 @@ def test_fig9_epoch_model_spot_check(benchmark, emit):
     rate, reschedules = benchmark.pedantic(measure, rounds=1, iterations=1)
     gbps = rate * 188e6 * 64 / 1e9
     emit("fig9_epoch_spot_check",
-         f"epoch-model evolving stream (5 distribution changes): "
+         "epoch-model evolving stream (5 distribution changes): "
          f"{gbps:.1f} Gbps, {reschedules} reschedules "
-         f"(baseline w/o skew handling: ~7 Gbps, line rate: 96 Gbps)")
+         "(baseline w/o skew handling: ~7 Gbps, line rate: 96 Gbps)")
     assert reschedules >= 2
     assert 10.0 < gbps < 96.5

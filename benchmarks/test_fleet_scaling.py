@@ -184,7 +184,7 @@ def test_transport_ablation(emit):
     speedup = pipe_s / shm_s if shm_s else 0.0
     table = Table(
         ["transport", "wall s", "MiB copied", "MiB shared", "shards"],
-        title=(f"Shard transport ablation, fast engine, "
+        title=("Shard transport ablation, fast engine, "
                f"{TRANSPORT_TUPLES:,} tuples, K={TRANSPORT_WORKERS} "
                f"({cores} cores)"),
     )

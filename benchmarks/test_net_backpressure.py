@@ -85,11 +85,11 @@ def test_backpressure_bounds_ingest_depth_under_flood(emit):
     emit("net_backpressure",
          f"over-admitting flood: {FLOOD_BATCHES} batches x {CHUNK} "
          f"tuples at a frozen dispatcher, high-water {HIGH_WATER}:\n"
-         f"  backpressure on : ingest depth p95 "
+         "  backpressure on : ingest depth p95 "
          f"{bounded_depth['p95']:.0f} (peak {bounded_depth['peak']}), "
          f"{bounded_shed} shed, {bounded_accepted} accepted, "
          f"lossless={bounded_lossless}\n"
-         f"  high-water off  : ingest depth p95 "
+         "  high-water off  : ingest depth p95 "
          f"{open_depth['p95']:.0f} (peak {open_depth['peak']}), "
          f"{open_shed} shed, {open_accepted} accepted, "
          f"lossless={open_lossless}",

@@ -85,7 +85,7 @@ def test_disabled_tracing_is_near_free(emit):
          f"  no collector      : {baseline * 1e3:.1f} ms\n"
          f"  tracing disabled  : {disabled * 1e3:.1f} ms "
          f"({ratio:.2f}x, bound {MAX_DISABLED_OVERHEAD}x)\n"
-         f"  deterministic metrics identical: True",
+         "  deterministic metrics identical: True",
          data={
              "tuples": 4 * TUPLES,
              "workers": WORKERS,

@@ -114,8 +114,8 @@ def test_batch_flood_no_longer_starves_interactive_tenant(emit):
     improvement = strict_p95 / max(fair_p95, 1.0)
 
     emit("tenant_flood_isolation",
-         f"interactive p95 queue delay under a 10-job batch flood "
-         f"(dispatch-clock tuples):\n"
+         "interactive p95 queue delay under a 10-job batch flood "
+         "(dispatch-clock tuples):\n"
          f"  strict priority     : {strict_p95:,.0f} "
          f"(SLO attainment {strict['interactive']['slo_attainment']:.0%})\n"
          f"  weighted-fair (3:1) : {fair_p95:,.0f} "
@@ -134,7 +134,7 @@ def test_batch_flood_no_longer_starves_interactive_tenant(emit):
          })
 
     assert improvement >= 2.0, (
-        f"fair queueing only improved interactive p95 queue delay "
+        "fair queueing only improved interactive p95 queue delay "
         f"{improvement:.1f}x over strict priority")
     # The SLO story matches: strict misses the interactive SLO, fair
     # meets it.

@@ -6,7 +6,6 @@ the comparison table (and the windowed-rate sparkline of one skewed run)
 into ``benchmarks/results/``.
 """
 
-import pytest
 
 from repro.analysis.tables import Table
 from repro.analysis.trace import render_rate_trace

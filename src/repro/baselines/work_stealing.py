@@ -3,7 +3,7 @@
 The paper argues (§III, Challenge 1) that classic load balancing does not
 transfer to data-intensive pipelines: "underutilized PEs stealing the
 workload from the overloaded PEs and writing the results back to their
-buffers after the calculation will not payoff", and "heavy operations
+buffers after the calculation will not payof", and "heavy operations
 (e.g., atomic operation) will stall the processing pipeline".
 
 The model: every steal requires an atomic operation on a shared queue

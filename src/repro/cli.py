@@ -493,6 +493,32 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the project-invariant static analysis over source paths."""
+    import json
+
+    from repro.lint import RULES_BY_NAME, run_lint
+
+    for name in args.rule or ():
+        if name not in RULES_BY_NAME:
+            known = ", ".join(sorted(RULES_BY_NAME))
+            print(f"unknown rule {name!r} (known: {known})",
+                  file=sys.stderr)
+            return 2
+    report = run_lint(args.paths, rule_names=args.rule or None)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = (f"{len(report.findings)} finding(s) in "
+                   f"{report.files} file(s)")
+        if report.suppressed:
+            summary += f", {len(report.suppressed)} suppressed by pragma"
+        print(summary)
+    return 1 if report.findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for the tests)."""
     parser = argparse.ArgumentParser(
@@ -690,6 +716,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tenant", default=None,
                    help="tenant to authenticate as")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("lint",
+                       help="project-invariant static analysis")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", default="text",
+                   choices=["text", "json"],
+                   help="human-readable findings or a JSON report")
+    p.add_argument("--rule", action="append", default=None,
+                   metavar="NAME",
+                   help="run only this rule (repeatable): guarded-by, "
+                        "lock-order, determinism, hot-path, "
+                        "trace-schema")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -16,7 +16,7 @@ lines with Ditto vs ~200 for Jiang et al.'s hand-written version).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 from repro.core.kernel import KernelSpec
 

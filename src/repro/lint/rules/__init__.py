@@ -1,0 +1,36 @@
+"""The five project-invariant checkers, keyed by rule name."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.lint.framework import Rule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.guarded_by import GuardedByRule
+from repro.lint.rules.hot_path import HotPathRule
+from repro.lint.rules.lock_order import LockOrderRule
+from repro.lint.rules.trace_schema import TraceSchemaRule
+
+#: Every built-in rule, in reporting order.
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    GuardedByRule,
+    LockOrderRule,
+    DeterminismRule,
+    HotPathRule,
+    TraceSchemaRule,
+)
+
+#: name -> rule class, for ``--rule`` selection.
+RULES_BY_NAME: Dict[str, Type[Rule]] = {
+    rule.name: rule for rule in ALL_RULES
+}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_NAME",
+    "DeterminismRule",
+    "GuardedByRule",
+    "HotPathRule",
+    "LockOrderRule",
+    "TraceSchemaRule",
+]

@@ -1,0 +1,74 @@
+"""*hot-path*: no serialisation or implicit copies in ``# hot-path``.
+
+PR 9's shared-memory shard transport exists to make the dispatcher ->
+worker route cost **zero copied bytes**; the pipe fallback deliberately
+pays two (and counts them).  A casually added ``pickle.dumps``,
+``deepcopy``, ``.tobytes()`` or copying NumPy op in one of those
+functions would silently undo the optimisation while every test still
+passes — byte accounting is a benchmark artifact, not a unit assert.
+
+Any function whose ``def`` line (or the line directly above it) carries
+a ``# hot-path`` comment is checked: calls listed in
+``hot_banned_calls``, method names in ``hot_banned_methods``, and the
+allocating builtins in ``hot_banned_builtins`` are findings.  A
+deliberate copy (the counted pipe fallback) carries an inline
+``# lint: disable=hot-path`` pragma, which is the point: intentional
+copies are visible and reviewed, accidental ones fail CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.framework import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    resolve_call,
+)
+
+
+class HotPathRule(Rule):
+    name = "hot-path"
+    description = ("serialisation / implicit-copy operations inside "
+                   "functions annotated # hot-path")
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for src in project.files:
+            for node in ast.walk(src.tree):
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)) and \
+                        src.is_hot(node):
+                    findings.extend(self._check_function(src, node,
+                                                         project))
+        return findings
+
+    def _check_function(self, src: SourceFile, func: ast.AST,
+                        project: Project) -> Iterable[Finding]:
+        config = project.config
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            message = None
+            resolved = resolve_call(node, src.imports)
+            if resolved in config.hot_banned_calls:
+                message = (f"{resolved}() copies/serialises inside a "
+                           "# hot-path function")
+            elif resolved in config.hot_banned_builtins:
+                message = (f"{resolved}() allocates a copy inside a "
+                           "# hot-path function")
+            elif isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in config.hot_banned_methods:
+                message = (f".{node.func.attr}() copies/serialises "
+                           "inside a # hot-path function")
+            if message is not None:
+                yield Finding(
+                    path=str(src.path),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.name,
+                    message=message,
+                )

@@ -1,0 +1,243 @@
+"""*lock-order*: the lock acquisition graph must stay acyclic.
+
+With 50+ ``with self._lock`` blocks across ``service``/``net``/``obs``,
+the deadlock a reviewer cannot see is two locks taken in opposite
+orders on two different code paths — each path is locally correct and
+the hang only manifests under concurrent load.
+
+The rule builds a project-wide acquisition graph:
+
+* **lexical nesting** — acquiring lock B inside a ``with A:`` block
+  adds the edge A -> B (entry-held locks from ``*_locked`` naming or
+  ``# guarded-by`` def annotations count as held);
+* **calls under a lock** — calling a method (same class, or through a
+  typed local/attribute) that itself acquires locks adds edges from
+  every held lock to each lock the callee (transitively, within its
+  class) acquires.
+
+Findings:
+
+* a **cycle** among distinct locks (the classic AB/BA deadlock);
+* a **re-acquisition** of a *non-reentrant* ``threading.Lock`` that is
+  already held — the single-thread self-deadlock, which is exactly the
+  bug a naive "just add the lock" fix to a ``*_locked``-calling method
+  introduces.  ``RLock`` and bare ``Condition()`` (RLock-backed) are
+  reentrant and exempt.
+
+Lock identity is resolved per owning class (``ServiceMetrics._lock``
+and ``JobQueue._lock`` are different nodes); a ``Condition(self._lock)``
+is the lock it wraps.  Unresolvable foreign locks stay distinct
+(conservative: missing edges, never false merges).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.lint.framework import (
+    ClassInfo,
+    Finding,
+    LockRef,
+    MethodInfo,
+    Project,
+    Rule,
+    SourceFile,
+    dotted_name,
+)
+
+
+class LockOrderRule(Rule):
+    name = "lock-order"
+    description = ("cycles in the lock acquisition graph and "
+                   "re-acquisition of non-reentrant locks")
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        registry: Dict[str, ClassInfo] = {}
+        owners: Dict[str, SourceFile] = {}
+        for src in project.files:
+            for cls in src.classes():
+                # First definition wins on (unlikely) name collisions.
+                if cls.name not in registry:
+                    registry[cls.name] = cls
+                    owners[cls.name] = src
+
+        closures = {
+            name: self._acq_closure(cls)
+            for name, cls in registry.items()
+        }
+
+        findings: List[Finding] = []
+        #: (src_label, dst_label) -> (path, line, src_ref, dst_ref)
+        edges: Dict[Tuple[str, str],
+                    Tuple[str, int, LockRef, LockRef]] = {}
+
+        for name, cls in registry.items():
+            src = owners[name]
+            for method in cls.methods.values():
+                self._method_edges(src, cls, method, registry,
+                                   closures, edges, findings)
+
+        findings.extend(self._cycle_findings(edges))
+        return findings
+
+    # -- per-class transitive acquisitions ----------------------------
+    def _acq_closure(self, cls: ClassInfo) -> Dict[str, Set[str]]:
+        """method -> canonical self-lock attrs it (transitively)
+        acquires via lexical ``with`` and same-class calls."""
+        direct: Dict[str, Set[str]] = {}
+        for method in cls.methods.values():
+            direct[method.name] = {
+                acq.ref.attr for acq in method.acquires
+                if acq.ref.cls == cls.name
+            }
+        closure = {name: set(acqs) for name, acqs in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for method in cls.methods.values():
+                acc = closure[method.name]
+                for callee in method.self_calls:
+                    extra = closure.get(callee)
+                    if extra and not extra <= acc:
+                        acc |= extra
+                        changed = True
+        return closure
+
+    # -- edge construction --------------------------------------------
+    def _method_edges(
+        self,
+        src: SourceFile,
+        cls: ClassInfo,
+        method: MethodInfo,
+        registry: Dict[str, ClassInfo],
+        closures: Dict[str, Dict[str, Set[str]]],
+        edges: Dict[Tuple[str, str],
+                    Tuple[str, int, LockRef, LockRef]],
+        findings: List[Finding],
+    ) -> None:
+        path = str(src.path)
+
+        def add_edge(held: LockRef, taken: LockRef,
+                     line: int, col: int) -> None:
+            if held.node == taken.node:
+                if self._kind(held, registry) == "lock":
+                    findings.append(Finding(
+                        path=path,
+                        line=line,
+                        col=col,
+                        rule=self.name,
+                        message=(
+                            "re-acquisition of non-reentrant lock "
+                            f"{held.node} while already held — "
+                            "single-thread deadlock (use a _locked "
+                            "variant or an RLock)"),
+                    ))
+                return
+            edges.setdefault((held.node, taken.node),
+                             (path, line, held, taken))
+
+        for acq in method.acquires:
+            for held in acq.held:
+                add_edge(held, acq.ref, acq.line, acq.col)
+
+        for call in method.held_calls:
+            for target_cls, callee in self._resolve_callee(
+                    cls, method, call.node, registry):
+                acquired = closures.get(target_cls, {}).get(callee)
+                if not acquired:
+                    continue
+                for attr in sorted(acquired):
+                    taken = LockRef(target_cls, attr, attr)
+                    for held in call.held:
+                        add_edge(held, taken, call.line,
+                                 call.node.col_offset)
+
+    def _resolve_callee(
+        self, cls: ClassInfo, method: MethodInfo, node: ast.Call,
+        registry: Dict[str, ClassInfo],
+    ) -> Iterable[Tuple[str, str]]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if len(parts) == 2 and parts[0] == "self":
+            yield cls.name, parts[1]
+        elif len(parts) == 2:
+            owner = cls.resolve_var_type(method, parts[0])
+            if owner in registry:
+                yield owner, parts[1]
+        elif len(parts) == 3 and parts[0] == "self":
+            owner = cls.attr_types.get(parts[1])
+            if owner in registry:
+                yield owner, parts[2]
+
+    def _kind(self, ref: LockRef,
+              registry: Dict[str, ClassInfo]) -> str:
+        if ref.cls is None:
+            return "unknown"
+        cls = registry.get(ref.cls)
+        return cls.lock_kind(ref.attr) if cls is not None else "unknown"
+
+    # -- cycle detection (Tarjan SCC) ---------------------------------
+    def _cycle_findings(
+        self,
+        edges: Dict[Tuple[str, str],
+                    Tuple[str, int, LockRef, LockRef]],
+    ) -> Iterable[Finding]:
+        graph: Dict[str, List[str]] = {}
+        for (a, b) in edges:
+            graph.setdefault(a, []).append(b)
+            graph.setdefault(b, [])
+
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        counter = [0]
+        sccs: List[List[str]] = []
+
+        def strongconnect(v: str) -> None:
+            index[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            for w in graph[v]:
+                if w not in index:
+                    strongconnect(w)
+                    low[v] = min(low[v], low[w])
+                elif w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if low[v] == index[v]:
+                component: List[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == v:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+
+        for vertex in sorted(graph):
+            if vertex not in index:
+                strongconnect(vertex)
+
+        for component in sccs:
+            member = set(component)
+            sites = sorted(
+                (path, line)
+                for (a, b), (path, line, _, _) in edges.items()
+                if a in member and b in member
+            )
+            path, line = sites[0]
+            yield Finding(
+                path=path,
+                line=line,
+                col=0,
+                rule=self.name,
+                message=(
+                    f"lock-order cycle: {' <-> '.join(component)} "
+                    "acquired in conflicting orders across "
+                    f"{len(sites)} sites — potential deadlock"),
+            )

@@ -46,14 +46,14 @@ class IngestBuffer:
                  idle_timeout: Optional[float] = None) -> None:
         if idle_timeout is not None and idle_timeout <= 0:
             raise ValueError("idle_timeout must be positive (or None)")
-        self._items: Deque[TimestampedBatch] = deque()
+        self._items: Deque[TimestampedBatch] = deque()  # guarded-by: _cond
         self._cond = threading.Condition()
-        self._closed = False
-        self._abort_reason: Optional[str] = None
+        self._closed = False  # guarded-by: _cond
+        self._abort_reason: Optional[str] = None  # guarded-by: _cond
         self._on_drain = on_drain
         self._idle_timeout = idle_timeout
-        self._probed = False
-        self._last_activity = time.monotonic()
+        self._probed = False  # guarded-by: _cond
+        self._last_activity = time.monotonic()  # guarded-by: _cond
         self.batches_in = 0
         self.tuples_in = 0
         self.depth_peak = 0
@@ -124,9 +124,9 @@ class IngestBuffer:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise RuntimeError(
-                        f"ingest stream idle for "
+                        "ingest stream idle for "
                         f"{self._idle_timeout:g}s (client stopped "
-                        f"streaming without `end`)")
+                        "streaming without `end`)")
                 self._cond.wait(timeout=remaining)
         if self._on_drain is not None:
             self._on_drain()
@@ -161,7 +161,7 @@ class IngestBuffer:
                     >= self._idle_timeout):
                 self._abort_reason = (
                     f"idle for {self._idle_timeout:g}s (client "
-                    f"stopped streaming without `end`)")
+                    "stopped streaming without `end`)")
                 self._cond.notify_all()
                 return True
             return False

@@ -51,7 +51,7 @@ class _TenantGate:
 
     def __init__(self) -> None:
         self.cond = threading.Condition()
-        self.buffers: List[IngestBuffer] = []
+        self.buffers: List[IngestBuffer] = []  # guarded-by: cond
 
     def add(self, buffer: IngestBuffer) -> None:
         with self.cond:
@@ -152,9 +152,9 @@ class StreamGateway:
         self._accept_thread: Optional[threading.Thread] = None
         self._dispatch_thread: Optional[threading.Thread] = None
         self._dispatch_error: Optional[str] = None
-        self._gates: Dict[str, _TenantGate] = {}
+        self._gates: Dict[str, _TenantGate] = {}  # guarded-by: _gates_lock
         self._gates_lock = threading.Lock()
-        self._connections: List[_Connection] = []
+        self._connections: List[_Connection] = []  # guarded-by: _conn_lock
         self._conn_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
 
@@ -312,7 +312,7 @@ class StreamGateway:
                     self._send(conn, {
                         "type": "error", "code": "protocol",
                         "error": f"line exceeds {self.max_line_bytes} "
-                                 f"bytes"})
+                                 "bytes"})
                     break  # stream framing is lost; disconnect
                 try:
                     message = protocol.decode(line)
@@ -476,8 +476,8 @@ class StreamGateway:
                     self.metrics.record_gateway(errors=1)
                     return {"type": "error", "code": "closed-stream",
                             "error": f"stream for job {job_id!r} "
-                                     f"closed while the batch was in "
-                                     f"flight"}
+                                     "closed while the batch was in "
+                                     "flight"}
                 depth += 1
         if over:
             # The client out-ran its credits: shed, never buffer.  The
@@ -575,7 +575,7 @@ class StreamGateway:
                 # Refuse instead of letting the client time out blind.
                 return {"type": "error", "code": "dispatcher-error",
                         "job_id": job_id,
-                        "error": f"dispatcher died: "
+                        "error": "dispatcher died: "
                                  f"{self._dispatch_error}"}
             if self._stop.is_set() or time.monotonic() >= deadline:
                 return {"type": "error", "code": "timeout",

@@ -20,11 +20,11 @@ from __future__ import annotations
 
 import io
 import threading
-import time
 from abc import ABC, abstractmethod
 from collections import deque
 from typing import Any, Deque, List, Optional
 
+from repro import wallclock
 from repro.obs.events import TraceEvent
 
 #: Default ring capacity: the newest events an operator can pull from a
@@ -64,9 +64,9 @@ class JsonlSink(TraceSink):
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
-        self._file: Optional[io.TextIOBase] = None
+        self._file: Optional[io.TextIOBase] = None  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.written = 0
+        self.written = 0  # guarded-by: _lock
 
     def write(self, event: TraceEvent) -> None:
         line = event.to_json()
@@ -142,7 +142,7 @@ class TraceCollector:
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def emit(
+    def emit(  # hot-path
         self,
         kind: str,
         clock: Optional[int] = None,
@@ -165,7 +165,7 @@ class TraceCollector:
         self.record(TraceEvent(
             kind=kind,
             clock=int(clock),
-            wall=time.time(),
+            wall=wallclock.now(),
             job_id=job_id,
             tenant_id=tenant_id,
             worker=worker,
@@ -173,7 +173,7 @@ class TraceCollector:
             data=data,
         ))
 
-    def record(self, event: TraceEvent) -> None:
+    def record(self, event: TraceEvent) -> None:  # hot-path
         """Record a pre-built event (no-op while disabled)."""
         if not self.enabled:
             return

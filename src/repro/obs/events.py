@@ -70,6 +70,28 @@ SIM_CHANNEL = "sim.channel"          #: channel occupancy sample
 SIM_THROUGHPUT = "sim.throughput"    #: windowed throughput sample
 
 
+def _registered_kinds() -> frozenset:
+    """Every dotted kind constant defined above, collected at import."""
+    return frozenset(
+        value for name, value in globals().items()
+        if name.isupper() and isinstance(value, str) and "." in value
+    )
+
+
+#: The dotted-kind registry: the set of event names this schema admits.
+#: ``repro.lint``'s *trace-schema* rule checks every emit site against
+#: it statically; runtime consumers (``repro trace`` analysis, replay
+#: diffing) can use it to reject captures with unknown kinds.  A new
+#: subsystem mints a kind by adding a module constant above — the
+#: registry picks it up automatically.
+KINDS = _registered_kinds()
+
+
+def is_registered(kind: str) -> bool:
+    """True if ``kind`` is a registered dotted event name."""
+    return kind in KINDS
+
+
 @dataclass(frozen=True)
 class TraceEvent:
     """One structured trace record.

@@ -155,32 +155,32 @@ class GatewayStats:
 class ServiceMetrics:
     """Thread-safe counters for one :class:`~repro.service.server.StreamService`."""
 
-    workers: Dict[int, WorkerStats] = field(default_factory=dict)
-    tenants: Dict[str, TenantStats] = field(default_factory=dict)
-    windows_closed: int = 0
-    tuples_windowed: int = 0
-    late_tuples: int = 0
-    jobs_submitted: int = 0
-    jobs_completed: int = 0
-    jobs_failed: int = 0
-    jobs_cancelled: int = 0
-    rebalances: int = 0
-    queue_depth_samples: Deque[int] = field(
+    workers: Dict[int, WorkerStats] = field(default_factory=dict)  # guarded-by: _lock
+    tenants: Dict[str, TenantStats] = field(default_factory=dict)  # guarded-by: _lock
+    windows_closed: int = 0  # guarded-by: _lock
+    tuples_windowed: int = 0  # guarded-by: _lock
+    late_tuples: int = 0  # guarded-by: _lock
+    jobs_submitted: int = 0  # guarded-by: _lock
+    jobs_completed: int = 0  # guarded-by: _lock
+    jobs_failed: int = 0  # guarded-by: _lock
+    jobs_cancelled: int = 0  # guarded-by: _lock
+    rebalances: int = 0  # guarded-by: _lock
+    queue_depth_samples: Deque[int] = field(  # guarded-by: _lock
         default_factory=lambda: deque(maxlen=QUEUE_DEPTH_WINDOW))
     # --- network front-end (repro.net) ---
-    gateway: GatewayStats = field(default_factory=GatewayStats)
+    gateway: GatewayStats = field(default_factory=GatewayStats)  # guarded-by: _lock
     # --- shard transport (repro.service.procpool / shm) ---
-    transport: TransportStats = field(default_factory=TransportStats)
+    transport: TransportStats = field(default_factory=TransportStats)  # guarded-by: _lock
     # --- control plane (repro.control) ---
-    drift_events: int = 0
-    replans_applied: int = 0
-    replans_suppressed: int = 0
-    plan_cache_hits: int = 0
-    plan_cache_misses: int = 0
-    scale_up_events: int = 0
-    scale_down_events: int = 0
-    reschedule_stall_cycles: int = 0
-    plan_ages: Deque[int] = field(
+    drift_events: int = 0  # guarded-by: _lock
+    replans_applied: int = 0  # guarded-by: _lock
+    replans_suppressed: int = 0  # guarded-by: _lock
+    plan_cache_hits: int = 0  # guarded-by: _lock
+    plan_cache_misses: int = 0  # guarded-by: _lock
+    scale_up_events: int = 0  # guarded-by: _lock
+    scale_down_events: int = 0  # guarded-by: _lock
+    reschedule_stall_cycles: int = 0  # guarded-by: _lock
+    plan_ages: Deque[int] = field(  # guarded-by: _lock
         default_factory=lambda: deque(maxlen=PLAN_AGE_WINDOW))
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
@@ -188,7 +188,7 @@ class ServiceMetrics:
     # ------------------------------------------------------------------
     # Tenant registry and per-tenant events
     # ------------------------------------------------------------------
-    def _tenant(self, tenant_id: str) -> TenantStats:
+    def _tenant(self, tenant_id: str) -> TenantStats:  # guarded-by: _lock
         return self.tenants.setdefault(tenant_id, TenantStats())
 
     def register_tenant(self, tenant_id: str, weight: float = 1.0,
@@ -423,10 +423,20 @@ class ServiceMetrics:
             return 1.0
         return max(cycles) / (sum(cycles) / len(cycles))
 
-    def plan_cache_hit_rate(self) -> float:
-        """Cache hits over lookups (0.0 before any plan lookup)."""
+    def _plan_cache_hit_rate_locked(self) -> float:  # guarded-by: _lock
         lookups = self.plan_cache_hits + self.plan_cache_misses
         return self.plan_cache_hits / lookups if lookups else 0.0
+
+    def plan_cache_hit_rate(self) -> float:
+        """Cache hits over lookups (0.0 before any plan lookup).
+
+        Both counters are read under one lock acquisition — the control
+        thread bumps hits and misses together, so reading them unlocked
+        could observe a lookup's hit without its miss-side update (a
+        rate transiently above 1.0 or below its true value).
+        """
+        with self._lock:
+            return self._plan_cache_hit_rate_locked()
 
     def snapshot(self) -> Dict[str, Any]:
         """Point-in-time machine-readable summary of the whole service.
@@ -505,7 +515,7 @@ class ServiceMetrics:
                 "replans_suppressed": self.replans_suppressed,
                 "plan_cache_hits": self.plan_cache_hits,
                 "plan_cache_misses": self.plan_cache_misses,
-                "plan_cache_hit_rate": self.plan_cache_hit_rate(),
+                "plan_cache_hit_rate": self._plan_cache_hit_rate_locked(),
                 "scale_up_events": self.scale_up_events,
                 "scale_down_events": self.scale_down_events,
                 "reschedule_stall_cycles": self.reschedule_stall_cycles,
@@ -528,7 +538,7 @@ class ServiceMetrics:
 
         return to_prometheus(self.snapshot())
 
-    def _gateway_snapshot(self) -> Dict[str, Any]:
+    def _gateway_snapshot(self) -> Dict[str, Any]:  # guarded-by: _lock
         """Gateway section of :meth:`snapshot` (caller holds the lock)."""
         stats = self.gateway
         depths = list(stats.ingest_depth_samples)
@@ -599,7 +609,7 @@ class ServiceMetrics:
         lines = [table.render()]
         lines.append(
             f"fleet throughput : {snap['fleet_throughput']:.3f} "
-            f"tuples/cycle "
+            "tuples/cycle "
             f"(makespan {snap['makespan_cycles']:,} cycles, "
             f"imbalance {snap['imbalance']:.2f}x)")
         lines.append(
@@ -672,7 +682,7 @@ class ServiceMetrics:
                        + control["plan_cache_misses"])
             lines.append(
                 f"control plane    : {control['drift_events']} "
-                f"drift events, "
+                "drift events, "
                 f"{control['replans_applied']} replans "
                 f"({control['replans_suppressed']} suppressed, "
                 f"cache {control['plan_cache_hits']}/{lookups} hit), "

@@ -84,7 +84,7 @@ class _Worker(threading.Thread):
             finally:
                 self.inbox.task_done()
 
-    def _process(self, item: WorkItem) -> None:
+    def _process(self, item: WorkItem) -> None:  # hot-path
         if len(item.batch) == 0:
             return
         session = self.pool._session(self.worker_id, self.generation,
@@ -142,8 +142,8 @@ class WorkerPool(ExecutionBackend):
         self._generation = 0
         self._workers = [_Worker(i, self._generation, self)
                          for i in range(workers)]
-        self._sessions: Dict[Tuple[int, int, str], StreamingSession] = {}
-        self._errors: Dict[str, List[str]] = {}
+        self._sessions: Dict[Tuple[int, int, str], StreamingSession] = {}  # guarded-by: _lock
+        self._errors: Dict[str, List[str]] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         self._started = False
 
@@ -202,7 +202,7 @@ class WorkerPool(ExecutionBackend):
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def dispatch(self, worker_id: int, item: WorkItem) -> None:
+    def dispatch(self, worker_id: int, item: WorkItem) -> None:  # hot-path
         """Queue one shard onto one worker."""
         if not 0 <= worker_id < self.size:
             raise ValueError(f"no such worker {worker_id}")

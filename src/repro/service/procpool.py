@@ -94,7 +94,7 @@ from repro.workloads.tuples import TupleBatch
 _CTX = multiprocessing.get_context("fork")
 
 
-def _child_main(conn, worker_id: int, ctrl_name: Optional[str]) -> None:
+def _child_main(conn, worker_id: int, ctrl_name: Optional[str]) -> None:  # hot-path
     """One warm worker subprocess: drain the pipe until handoff.
 
     State lives entirely in this process: job specs, per-job streaming
@@ -284,7 +284,7 @@ class ProcessBackend(ExecutionBackend):
         #: Partials handed off by removed/stopped workers, awaiting
         #: collection, keyed (worker_id, generation, job_id).
         self._orphans: Dict[Tuple[int, int, str], SessionSnapshot] = {}
-        self._errors: Dict[str, List[str]] = {}
+        self._errors: Dict[str, List[str]] = {}  # guarded-by: _lock
         #: Crash-replay ledger: every dispatched shard of every live
         #: job, per worker, in dispatch order.  Entries drop at collect.
         self._retained: Dict[int, List[_Retained]] = {}
@@ -358,7 +358,7 @@ class ProcessBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def dispatch(self, worker_id: int, item: WorkItem) -> None:
+    def dispatch(self, worker_id: int, item: WorkItem) -> None:  # hot-path
         """Ship one shard to one child; retain it for crash replay."""
         if not 0 <= worker_id < self.size:
             raise ValueError(f"no such worker {worker_id}")
@@ -504,7 +504,7 @@ class ProcessBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     # Shard transport
     # ------------------------------------------------------------------
-    def _send(self, child: _ChildHandle, entry: _Retained,
+    def _send(self, child: _ChildHandle, entry: _Retained,  # hot-path
               record: bool) -> None:
         """Ship one retained shard over the child's pipe.
 
@@ -530,8 +530,8 @@ class ProcessBackend(ExecutionBackend):
             self.metrics.record_transport(slab_fallbacks=1)
         child.conn.send(("work",) + header
                         + (str(entry.keys.dtype), str(entry.values.dtype)))
-        child.conn.send_bytes(entry.keys.tobytes())
-        child.conn.send_bytes(entry.values.tobytes())
+        child.conn.send_bytes(entry.keys.tobytes())  # lint: disable=hot-path
+        child.conn.send_bytes(entry.values.tobytes())  # lint: disable=hot-path
         # tobytes() in the parent + recv_bytes() in the child: two full
         # copies per pipe shard — the cost shm transport removes.
         self.metrics.record_transport(

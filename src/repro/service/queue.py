@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import heapq
 import threading
-import time
 from collections import deque
 from typing import (
     Collection,
@@ -44,6 +43,7 @@ from typing import (
     Tuple,
 )
 
+from repro import wallclock
 from repro.service.jobs import (
     Job,
     JobStatus,
@@ -94,13 +94,13 @@ class JobQueue:
             raise ValueError("promote_after must be at least 1 (or None)")
         self.fair = fair
         self.promote_after = promote_after
-        self._tenants: Dict[str, _TenantQueue] = {}
-        self._specs: Dict[str, TenantSpec] = {}
-        self._entries: Dict[str, Job] = {}
-        self._enqueue_pop: Dict[str, int] = {}
-        self._runnable = 0
-        self._pops = 0
-        self._virtual = 0.0
+        self._tenants: Dict[str, _TenantQueue] = {}  # guarded-by: _lock
+        self._specs: Dict[str, TenantSpec] = {}  # guarded-by: _lock
+        self._entries: Dict[str, Job] = {}  # guarded-by: _lock
+        self._enqueue_pop: Dict[str, int] = {}  # guarded-by: _lock
+        self._runnable = 0  # guarded-by: _lock
+        self._pops = 0  # guarded-by: _lock
+        self._virtual = 0.0  # guarded-by: _lock
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
 
@@ -115,7 +115,7 @@ class JobQueue:
             if state is not None:
                 state.weight = spec.weight
 
-    def _tenant(self, tenant_id: str) -> _TenantQueue:
+    def _tenant(self, tenant_id: str) -> _TenantQueue:  # guarded-by: _lock
         state = self._tenants.get(tenant_id)
         if state is None:
             spec = self._specs.get(tenant_id)
@@ -185,8 +185,12 @@ class JobQueue:
         """
         blocked = frozenset(blocked)
         with self._not_empty:
+            # The deadline is host time by necessity (it bounds a real
+            # thread wait) but goes through the vetted shim: it decides
+            # *when* pop wakes, never *what* it returns.
             deadline = (
-                None if timeout is None else time.monotonic() + timeout
+                None if timeout is None
+                else wallclock.monotonic() + timeout
             )
             while True:
                 job = self._pop_runnable(blocked)
@@ -197,24 +201,24 @@ class JobQueue:
                 if deadline is None:
                     self._not_empty.wait()
                     continue
-                remaining = deadline - time.monotonic()
+                remaining = deadline - wallclock.monotonic()
                 if remaining <= 0.0:
                     # The lock is held: nothing can have arrived since
                     # the runnable check at the top of this iteration.
                     return None
                 self._not_empty.wait(timeout=remaining)
 
-    def _live(self, job: Job) -> bool:
+    def _live(self, job: Job) -> bool:  # guarded-by: _lock
         return (job.status is JobStatus.PENDING
                 and self._entries.get(job.job_id) is job)
 
-    def _prune(self, state: _TenantQueue) -> None:
+    def _prune(self, state: _TenantQueue) -> None:  # guarded-by: _lock
         while state.heap and not self._live(state.heap[0][1]):
             heapq.heappop(state.heap)
         while state.fifo and not self._live(state.fifo[0]):
             state.fifo.popleft()
 
-    def _pop_runnable(self, blocked: frozenset) -> Optional[Job]:
+    def _pop_runnable(self, blocked: frozenset) -> Optional[Job]:  # guarded-by: _lock
         eligible: List[Tuple[str, _TenantQueue]] = []
         for tenant_id, state in self._tenants.items():
             if state.runnable > 0 and tenant_id not in blocked:
@@ -247,7 +251,7 @@ class JobQueue:
             job = heapq.heappop(state.heap)[1]
         return self._take(state, job)
 
-    def _aged_head(
+    def _aged_head(  # guarded-by: _lock
         self, eligible: List[Tuple[str, _TenantQueue]]
     ) -> Optional[Tuple[str, _TenantQueue]]:
         """The tenant whose oldest job has outwaited the promotion
@@ -264,7 +268,7 @@ class JobQueue:
                 oldest = (tenant_id, state)
         return oldest
 
-    def _take(self, state: _TenantQueue, job: Job) -> Job:
+    def _take(self, state: _TenantQueue, job: Job) -> Job:  # guarded-by: _lock
         """Account one pop: counters and the tenant's virtual time."""
         del self._entries[job.job_id]
         del self._enqueue_pop[job.job_id]

@@ -224,9 +224,9 @@ class StreamService:
         # The job registry is shared with ingest threads (the network
         # gateway submits/polls from connection threads while the
         # dispatcher runs), so every access goes through _jobs_lock.
-        self._jobs: Dict[str, Job] = {}
+        self._jobs: Dict[str, Job] = {}  # guarded-by: _jobs_lock
         self._jobs_lock = threading.RLock()
-        self._terminal: "OrderedDict[str, None]" = OrderedDict()
+        self._terminal: "OrderedDict[str, None]" = OrderedDict()  # guarded-by: _jobs_lock
         self._pool = make_backend(self.backend, workers,
                                   self._session_spec, self.metrics,
                                   tracer=self.tracer,
@@ -716,7 +716,7 @@ class StreamService:
         self.metrics.rebalances = self.balancer.rebalances
         self._retire(job)
 
-    def _dispatch(self, job: Job, closed_windows,
+    def _dispatch(self, job: Job, closed_windows,  # hot-path
                   by_key: bool = False) -> None:
         spec = self.tenant_spec(job.tenant_id)
         tracer = self.tracer

@@ -213,7 +213,7 @@ class SlabArena:
     # ------------------------------------------------------------------
     # Hot path
     # ------------------------------------------------------------------
-    def write(self, worker_id: int,
+    def write(self, worker_id: int,  # hot-path
               keys: np.ndarray, values: np.ndarray) -> Optional[ShardDescriptor]:
         """Place one shard in shared memory; None means "use the pipe".
 
@@ -254,7 +254,7 @@ class SlabArena:
         return ShardDescriptor(slab.name, offset, len(keys),
                                str(keys.dtype), str(values.dtype), seq)
 
-    def reclaim(self) -> None:
+    def reclaim(self) -> None:  # hot-path
         """Free every block whose owner has consumed past its sequence."""
         assert self._consumed is not None
         for worker_id, ring in self._rings.items():
@@ -350,7 +350,7 @@ class SlabClient:
         self._consumed = np.frombuffer(self._ctrl.buf, dtype=np.int64)
         self._slabs: Dict[str, shared_memory.SharedMemory] = {}
 
-    def views(self, desc: ShardDescriptor) -> Tuple[np.ndarray, np.ndarray]:
+    def views(self, desc: ShardDescriptor) -> Tuple[np.ndarray, np.ndarray]:  # hot-path
         """Read-only key/value views straight over the shared block."""
         segment = self._slabs.get(desc.slab)
         if segment is None:
@@ -365,7 +365,7 @@ class SlabClient:
         values.flags.writeable = False
         return keys, values
 
-    def done(self, worker_id: int, seq: int) -> None:
+    def done(self, worker_id: int, seq: int) -> None:  # hot-path
         """Publish "processed through ``seq``" — frees blocks parent-side."""
         self._consumed[worker_id] = seq
 

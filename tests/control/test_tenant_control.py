@@ -1,6 +1,5 @@
 """Tenant-aware control plane: stall attribution and SLO-driven sizing."""
 
-import numpy as np
 
 from repro.control import AdaptiveController, Autoscaler, ControlPolicy
 from repro.service import ServiceMetrics, WorkerPool

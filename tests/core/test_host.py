@@ -13,7 +13,7 @@ def build(delay=4):
     stats = [Channel("s0", capacity=8)]
     plans = [Channel("p0", capacity=8)]
     profiler = RuntimeProfiler(
-        "prof", 4, 1, stats, plans, Channel("m", capacity=8),
+        "pro", 4, 1, stats, plans, Channel("m", capacity=8),
         Channel("h", capacity=8), profiling_cycles=2,
     )
     secpe = ProcessingElement("sec", 4, kernel, Channel("sc", capacity=8),

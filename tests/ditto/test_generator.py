@@ -1,6 +1,5 @@
 """System generation: Eq. 1 tuning and the implementation set."""
 
-import pytest
 
 from repro.ditto.generator import SystemGenerator, tune_pe_counts
 from repro.ditto.spec import histogram_spec, hyperloglog_spec

@@ -7,7 +7,6 @@ and — more importantly — preserves every *ordering* the paper's
 conclusions rest on.
 """
 
-import numpy as np
 import pytest
 
 from repro.apps.histo import HistogramKernel

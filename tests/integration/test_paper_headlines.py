@@ -5,7 +5,6 @@ evaluation text using this repository's own pipeline (not the paper's
 constants), and checks it lands in the claimed ballpark.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import paper_data

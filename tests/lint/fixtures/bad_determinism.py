@@ -1,0 +1,31 @@
+"""Known-bad fixture for the determinism rule (never imported).
+
+Only flagged when the lint config lists this module as deterministic —
+the tests pass ``LintConfig(deterministic_modules=("bad_determinism",))``.
+"""
+
+import datetime
+import random
+import time
+
+import numpy as np
+
+
+def stamp():
+    return time.time()
+
+
+def deadline(timeout):
+    return time.monotonic() + timeout
+
+
+def label():
+    return datetime.datetime.now().isoformat()
+
+
+def jitter():
+    return random.random()
+
+
+def rng():
+    return np.random.default_rng()

@@ -1,0 +1,43 @@
+"""Known-bad fixture for the guarded-by rule (never imported)."""
+
+import threading
+
+
+class Counter:
+    """Declared guards violated: reads outside the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self.hits += 1
+
+    def rate(self):
+        # Torn read: hits and misses loaded in two unlocked reads.
+        return self.hits / ((self.hits + self.misses) or 1)
+
+
+class Inferred:
+    """No declaration, but 3/4 accesses are locked -> inferred guard."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.depth = 0
+
+    def grow(self):
+        with self._lock:
+            self.depth += 1
+
+    def shrink(self):
+        with self._lock:
+            self.depth -= 1
+
+    def drain(self):
+        with self._lock:
+            return self.depth
+
+    def peek(self):
+        return self.depth

@@ -1,0 +1,21 @@
+"""Known-bad fixture for the hot-path rule (never imported)."""
+
+import copy
+import pickle
+
+import numpy as np
+
+
+def send(shard):  # hot-path
+    payload = pickle.dumps(shard)
+    return payload
+
+
+# hot-path
+def merge(parts):
+    joined = np.concatenate(parts)
+    return joined.tobytes()
+
+
+def snapshot(state):  # hot-path
+    return copy.deepcopy(state)

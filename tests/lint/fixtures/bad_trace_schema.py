@@ -1,0 +1,16 @@
+"""Known-bad fixture for the trace-schema rule (never imported)."""
+
+from repro.obs import events
+from repro.obs.events import TraceEvent
+
+
+def misspelled(tracer):
+    tracer.emit("job.sumbit", 0)
+
+
+def unknown_constant():
+    return events.JOB_TELEPORT
+
+
+def direct_event():
+    return TraceEvent(kind="gateway.warp", clock=0)

@@ -1,0 +1,24 @@
+"""Known-good fixture for the determinism rule (never imported)."""
+
+import random
+
+import numpy as np
+
+from repro import wallclock
+
+
+def seeded_numpy():
+    return np.random.default_rng(7).integers(0, 10)
+
+
+def seeded_stdlib():
+    return random.Random(3).random()
+
+
+def wall_stamp():
+    # Host time through the vetted shim is the sanctioned route.
+    return wallclock.now()
+
+
+def wait_deadline(timeout):
+    return wallclock.monotonic() + timeout

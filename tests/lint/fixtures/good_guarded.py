@@ -1,0 +1,33 @@
+"""Known-good fixture for the guarded-by rule (never imported)."""
+
+import threading
+
+
+class Counter:
+    """Every guarded access holds the lock (incl. via a Condition
+    wrapping it and a ``# guarded-by`` def annotation)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self.hits += 1
+
+    def wait_bump(self):
+        # Holding the Condition counts as holding the wrapped lock.
+        with self._not_empty:
+            self.misses += 1
+
+    def rate(self):
+        with self._lock:
+            return self._rate_locked()
+
+    def _rate_locked(self):
+        return self.hits / ((self.hits + self.misses) or 1)
+
+    def helper(self):  # guarded-by: _lock
+        return self.hits

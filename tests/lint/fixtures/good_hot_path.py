@@ -1,0 +1,13 @@
+"""Known-good fixture for the hot-path rule (never imported)."""
+
+import numpy as np
+
+
+def views(buf, count):  # hot-path
+    # Zero-copy: frombuffer aliases the backing memory.
+    return np.frombuffer(buf, dtype=np.int64, count=count)
+
+
+def cold(parts):
+    # Copies are fine outside # hot-path functions.
+    return np.concatenate(parts).tobytes()

@@ -1,0 +1,51 @@
+"""Known-good fixture for the lock-order rule (never imported)."""
+
+import threading
+
+
+class Pair:
+    """Two locks, one consistent order on every path."""
+
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def ab(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+    def also_ab(self):
+        with self._a_lock:
+            with self._b_lock:
+                pass
+
+
+class ReentrantReacquire:
+    """RLock re-acquisition is legal and must not be flagged."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def outer(self):
+        with self._lock:
+            self.inner()
+
+    def inner(self):
+        with self._lock:
+            pass
+
+
+class LockedConvention:
+    """Callers of ``*_locked`` helpers already hold the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.depth = 0
+
+    def grow(self):
+        with self._lock:
+            self._grow_locked()
+
+    def _grow_locked(self):
+        self.depth += 1

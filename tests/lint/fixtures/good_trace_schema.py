@@ -1,0 +1,21 @@
+"""Known-good fixture for the trace-schema rule (never imported)."""
+
+from repro.obs import events
+from repro.obs.events import TraceEvent
+
+
+def by_constant(tracer):
+    tracer.emit(events.JOB_SUBMIT, 0)
+
+
+def by_literal(tracer):
+    tracer.emit("backend.shard.retry", 1)
+
+
+def direct_event():
+    return TraceEvent(kind=events.GATEWAY_BATCH, clock=0)
+
+
+def prefix_filter(tracer):
+    # Consumer-side prefix filters are out of scope by design.
+    return tracer.events(kind="job.")

@@ -1,0 +1,12 @@
+"""Fixture: real violations silenced by pragmas (never imported)."""
+
+import pickle
+
+
+def deliberate_copy(shard):  # hot-path
+    # The counted pipe-fallback idiom: visible, reviewed, suppressed.
+    return pickle.dumps(shard)  # lint: disable=hot-path
+
+
+def whole_body(shard):  # hot-path, lint: disable=hot-path
+    return pickle.dumps(shard)

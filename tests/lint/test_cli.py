@@ -1,0 +1,68 @@
+"""The ``repro lint`` subcommand: exit codes and output formats."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestExitCodes:
+    def test_clean_path_exits_zero(self, capsys):
+        assert main(["lint", str(FIXTURES / "good_hot_path.py")]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s) in 1 file(s)" in out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", str(FIXTURES / "bad_hot_path.py")]) == 1
+        out = capsys.readouterr().out
+        assert "[hot-path]" in out
+        assert "4 finding(s)" in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        code = main(["lint", str(FIXTURES), "--rule", "no-such-rule"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown rule 'no-such-rule'" in err
+        assert "guarded-by" in err  # the known-rules listing
+
+    def test_suppressed_findings_counted_not_fatal(self, capsys):
+        path = str(FIXTURES / "pragma_suppressed.py")
+        assert main(["lint", path]) == 0
+        assert "2 suppressed by pragma" in capsys.readouterr().out
+
+
+class TestRuleSelection:
+    def test_single_rule_filter(self, capsys):
+        path = str(FIXTURES / "bad_guarded.py")
+        assert main(["lint", path, "--rule", "hot-path"]) == 0
+        capsys.readouterr()
+        assert main(["lint", path, "--rule", "guarded-by"]) == 1
+
+    def test_repeated_rule_flags(self, capsys):
+        path = str(FIXTURES / "bad_lock_order.py")
+        code = main(["lint", path, "--rule", "lock-order",
+                     "--rule", "hot-path"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[lock-order]" in out
+
+
+class TestJsonFormat:
+    def test_json_report_shape(self, capsys):
+        path = str(FIXTURES / "bad_trace_schema.py")
+        assert main(["lint", path, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files"] == 1
+        assert len(payload["findings"]) == 3
+        finding = payload["findings"][0]
+        assert set(finding) == {"rule", "path", "line", "col",
+                                "message"}
+        assert finding["rule"] == "trace-schema"
+
+    def test_json_clean_report(self, capsys):
+        path = str(FIXTURES / "good_trace_schema.py")
+        assert main(["lint", path, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []

@@ -56,10 +56,12 @@ class TestToPrometheus:
     def test_help_and_type_precede_each_family_once(self):
         text = _exercised_metrics().to_prometheus()
         lines = text.splitlines()
-        helps = [l.split()[2] for l in lines if l.startswith("# HELP")]
+        helps = [line.split()[2] for line in lines
+                 if line.startswith("# HELP")]
         assert len(helps) == len(set(helps))
         for name in helps:
-            assert any(l.startswith(f"# TYPE {name} ") for l in lines)
+            assert any(line.startswith(f"# TYPE {name} ")
+                       for line in lines)
 
     def test_label_values_are_escaped(self):
         snapshot = {"tenants": {'we"ird\\tenant': {

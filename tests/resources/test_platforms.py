@@ -1,6 +1,5 @@
 """Platform portability (§V-A): the Xilinx migration is configuration."""
 
-import pytest
 
 from repro.ditto.generator import SystemGenerator, tune_pe_counts
 from repro.ditto.spec import histogram_spec

@@ -83,3 +83,63 @@ class TestStallAccounting:
         assert control["reschedule_stall_cycles"] == 42
         assert control["plan_age_p50"] == 7
         assert metrics.plan_cache_hit_rate() == 0.5
+
+
+class TestPlanCacheHitRateLocking:
+    """Regression: plan_cache_hit_rate read hits and misses in two
+    unlocked loads, so a concurrent record_control could surface a
+    rate describing no instant that ever existed (torn read)."""
+
+    class _RecordingLock:
+        def __init__(self, inner):
+            self.inner = inner
+            self.entered = 0
+
+        def __enter__(self):
+            self.entered += 1
+            return self.inner.__enter__()
+
+        def __exit__(self, *exc):
+            return self.inner.__exit__(*exc)
+
+    def test_rate_is_computed_under_the_metrics_lock(self):
+        metrics = ServiceMetrics()
+        metrics.record_control(cache_hits=3, cache_misses=1)
+        probe = self._RecordingLock(metrics._lock)
+        metrics._lock = probe
+        assert metrics.plan_cache_hit_rate() == pytest.approx(0.75)
+        assert probe.entered == 1
+
+    def test_snapshot_reuses_the_held_lock_without_deadlock(self):
+        # _snapshot_locked computes the rate while already holding the
+        # non-reentrant lock; a naive `with self._lock` in the public
+        # accessor would deadlock here.
+        metrics = ServiceMetrics()
+        metrics.record_control(cache_hits=1, cache_misses=3)
+        snapshot = metrics.snapshot()
+        assert snapshot["control"]["plan_cache_hit_rate"] == \
+            pytest.approx(0.25)
+
+    def test_no_torn_reads_under_concurrent_lookups(self):
+        # The writer bumps hits and misses together, so a correctly
+        # locked reader can only ever observe a 0.5 rate; a torn read
+        # sees one counter's update without the other.
+        import threading
+
+        metrics = ServiceMetrics()
+        metrics.record_control(cache_hits=1, cache_misses=1)
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                metrics.record_control(cache_hits=1, cache_misses=1)
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            for _ in range(2_000):
+                assert metrics.plan_cache_hit_rate() == 0.5
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        assert not thread.is_alive()

@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.service import StreamService, shard_of_keys
-from repro.service.jobs import Job, JobStatus
+from repro.service.jobs import Job
 from repro.service.server import _ActiveJob
 from repro.service.windows import WindowManager
 from repro.workloads.streams import chunk_stream, timestamp_batch

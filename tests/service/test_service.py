@@ -5,7 +5,7 @@ import pytest
 
 from repro.apps.hyperloglog import hll_estimate_from_registers
 from repro.service import StreamService
-from repro.service.jobs import JobStatus, kernel_for
+from repro.service.jobs import kernel_for
 from repro.workloads.streams import chunk_stream, timestamp_batch
 from repro.workloads.tuples import TupleBatch
 from repro.workloads.zipf import ZipfGenerator

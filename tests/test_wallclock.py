@@ -1,0 +1,53 @@
+"""The vetted wall-clock shim and its deterministic-path consumers.
+
+``repro.wallclock`` is the only sanctioned door to host time for
+modules on the deterministic dispatch-clock path (enforced by the
+``determinism`` lint rule).  These tests pin the two consumer sites
+that PR 10 rerouted — trace wall stamps and queue pop deadlines — to
+the shim, so shadow replay can fake both by patching one module.
+"""
+
+import time
+
+from repro import wallclock
+from repro.obs import events as trace_events
+from repro.obs.collector import TraceCollector
+from repro.service.queue import JobQueue
+
+
+class TestShim:
+    def test_now_tracks_host_epoch_time(self):
+        before = time.time()
+        stamp = wallclock.now()
+        after = time.time()
+        assert before <= stamp <= after
+
+    def test_monotonic_never_goes_backwards(self):
+        readings = [wallclock.monotonic() for _ in range(100)]
+        assert readings == sorted(readings)
+
+
+class TestCollectorUsesShim:
+    def test_event_wall_stamp_comes_from_wallclock(self, monkeypatch):
+        # Faking the shim must fake every emitted wall stamp — the
+        # property shadow replay relies on.
+        monkeypatch.setattr(wallclock, "now", lambda: 123.5)
+        tracer = TraceCollector(enabled=True)
+        tracer.emit(trace_events.JOB_SUBMIT, 7, job_id="j-1")
+        (event,) = tracer.events()
+        assert event.wall == 123.5
+        assert event.clock == 7
+
+
+class TestQueueUsesShim:
+    def test_pop_deadline_reads_the_shim_not_time(self, monkeypatch):
+        # Each fake reading advances a full second, so the 0.5 s
+        # timeout expires on the shim's clock before any real wait: a
+        # queue still reading time.monotonic() directly would sleep
+        # the real half second instead.
+        ticks = iter(float(i) for i in range(10))
+        monkeypatch.setattr(wallclock, "monotonic",
+                            lambda: next(ticks))
+        start = time.monotonic()
+        assert JobQueue().pop(timeout=0.5) is None
+        assert time.monotonic() - start < 0.4
